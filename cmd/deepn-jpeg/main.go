@@ -1,0 +1,316 @@
+// Command deepn-jpeg is the CLI front end of the DeepN-JPEG codec:
+//
+//	deepn-jpeg calibrate  -classes 8 -per-class 40 [-chroma]        # print calibrated tables
+//	deepn-jpeg encode     -in img.(ppm|pgm|png|jpg) -out out.jpg
+//	                      [-qf 85 | -deepn] [-subsampling 420|444] [-optimize]
+//	deepn-jpeg decode     -in img.jpg -out out.(ppm|pgm|png)
+//	deepn-jpeg inspect    -in img.jpg                               # tables + metadata
+//
+// Calibration runs on the built-in SynthNet generator so the tool works
+// without external data; encode -deepn calibrates on the fly the same way.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"image/png"
+	"os"
+	"path/filepath"
+	"strings"
+
+	deepnjpeg "repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/imgutil"
+	"repro/internal/jpegcodec"
+	"repro/internal/qtable"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "calibrate":
+		err = runCalibrate(os.Args[2:])
+	case "encode":
+		err = runEncode(os.Args[2:])
+	case "decode":
+		err = runDecode(os.Args[2:])
+	case "transcode":
+		err = runTranscode(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deepn-jpeg:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: deepn-jpeg <calibrate|encode|decode|transcode|inspect> [flags]")
+}
+
+// runTranscode requantizes an existing JPEG in the coefficient domain —
+// no second IDCT/DCT generation loss — either to a plain QF table or to a
+// DeepN-JPEG table calibrated on SynthNet.
+func runTranscode(args []string) error {
+	fs := flag.NewFlagSet("transcode", flag.ExitOnError)
+	in := fs.String("in", "", "input JPEG")
+	out := fs.String("out", "", "output JPEG")
+	qf := fs.Int("qf", 60, "target quality factor (standard tables)")
+	deepn := fs.Bool("deepn", false, "retarget to a DeepN-JPEG table calibrated on SynthNet")
+	optimize := fs.Bool("optimize", true, "optimized Huffman tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("transcode needs -in and -out")
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	dec, err := jpegcodec.Decode(bytes.NewReader(src))
+	if err != nil {
+		return err
+	}
+	var luma, chroma qtable.Table
+	if *deepn {
+		train, _, err := dataset.Generate(dataset.Quick())
+		if err != nil {
+			return err
+		}
+		fw, err := core.Calibrate(train, core.CalibrateOptions{})
+		if err != nil {
+			return err
+		}
+		luma, chroma = fw.LumaTable, fw.ChromaTable
+	} else {
+		if luma, err = qtable.Scale(qtable.StdLuminance, *qf); err != nil {
+			return err
+		}
+		if chroma, err = qtable.Scale(qtable.StdChrominance, *qf); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if err := jpegcodec.Requantize(&buf, dec, luma, chroma, &jpegcodec.Options{OptimizeHuffman: *optimize}); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d → %d bytes (%.2f×), coefficient-domain requantization\n",
+		*out, len(src), buf.Len(), float64(len(src))/float64(buf.Len()))
+	return nil
+}
+
+func runCalibrate(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	classes := fs.Int("classes", 8, "SynthNet classes")
+	perClass := fs.Int("per-class", 40, "images per class")
+	size := fs.Int("size", 32, "image size")
+	seed := fs.Int64("seed", 1, "generator seed")
+	chroma := fs.Bool("chroma", false, "also calibrate a chroma table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := dataset.Config{Classes: *classes, Size: *size, TrainPerClass: *perClass, TestPerClass: 1, Seed: *seed, NoiseStd: 5, Color: *chroma}
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fw, err := core.Calibrate(train, core.CalibrateOptions{Chroma: *chroma})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated on %d images (%d classes)\n", fw.SampledCount, *classes)
+	fmt.Printf("PLM: a=%.1f b=%.1f c=%.1f k1=%.3f k2=%.3f k3=%.3f T1=%.2f T2=%.2f Qmin=%.0f\n",
+		fw.Params.A, fw.Params.B, fw.Params.C, fw.Params.K1, fw.Params.K2, fw.Params.K3,
+		fw.Params.T1, fw.Params.T2, fw.Params.QMin)
+	fmt.Println("\nluminance table:")
+	fmt.Print(fw.LumaTable.String())
+	if *chroma {
+		fmt.Println("\nchrominance table:")
+		fmt.Print(fw.ChromaTable.String())
+	}
+	return nil
+}
+
+// loadImage reads PPM/PGM/PNG/JPEG by extension.
+func loadImage(path string) (*imgutil.RGB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".ppm":
+		return imgutil.ReadPPM(bytes.NewReader(data))
+	case ".pgm":
+		g, err := imgutil.ReadPGM(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return g.ToRGB(), nil
+	case ".png":
+		img, err := png.Decode(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return imgutil.FromImage(img), nil
+	case ".jpg", ".jpeg":
+		return deepnjpeg.Decode(data)
+	default:
+		return nil, fmt.Errorf("unsupported input format %q", filepath.Ext(path))
+	}
+}
+
+// saveImage writes PPM/PGM/PNG by extension.
+func saveImage(path string, im *imgutil.RGB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".ppm":
+		return imgutil.WritePPM(f, im)
+	case ".pgm":
+		return imgutil.WritePGM(f, im.ToGray())
+	case ".png":
+		return png.Encode(f, im.ToImage())
+	default:
+		return fmt.Errorf("unsupported output format %q", filepath.Ext(path))
+	}
+}
+
+func runEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	in := fs.String("in", "", "input image (ppm/pgm/png/jpg)")
+	out := fs.String("out", "", "output JPEG path")
+	qf := fs.Int("qf", 85, "JPEG quality factor (standard tables)")
+	deepn := fs.Bool("deepn", false, "use a DeepN-JPEG table calibrated on SynthNet")
+	sub := fs.String("subsampling", "420", "chroma subsampling: 420 or 444")
+	optimize := fs.Bool("optimize", false, "optimized Huffman tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("encode needs -in and -out")
+	}
+	img, err := loadImage(*in)
+	if err != nil {
+		return err
+	}
+	opts := jpegcodec.Options{OptimizeHuffman: *optimize}
+	switch *sub {
+	case "420":
+		opts.Subsampling = jpegcodec.Sub420
+	case "444":
+		opts.Subsampling = jpegcodec.Sub444
+	default:
+		return fmt.Errorf("bad -subsampling %q", *sub)
+	}
+	if *deepn {
+		cfg := dataset.Quick()
+		train, _, err := dataset.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		fw, err := core.Calibrate(train, core.CalibrateOptions{})
+		if err != nil {
+			return err
+		}
+		opts.LumaTable = fw.LumaTable
+		opts.ChromaTable = fw.ChromaTable
+	} else {
+		if opts.LumaTable, err = qtable.Scale(qtable.StdLuminance, *qf); err != nil {
+			return err
+		}
+		if opts.ChromaTable, err = qtable.Scale(qtable.StdChrominance, *qf); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if err := jpegcodec.EncodeRGB(&buf, img, &opts); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	back, err := deepnjpeg.Decode(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	psnr, err := deepnjpeg.PSNR(img, back)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %dx%d → %d bytes (%.2f bpp), PSNR %.2f dB\n",
+		*out, img.W, img.H, buf.Len(), 8*float64(buf.Len())/float64(img.W*img.H), psnr)
+	return nil
+}
+
+func runDecode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	in := fs.String("in", "", "input JPEG")
+	out := fs.String("out", "", "output image (ppm/pgm/png)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("decode needs -in and -out")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	img, err := deepnjpeg.Decode(data)
+	if err != nil {
+		return err
+	}
+	if err := saveImage(*out, img); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %dx%d\n", *out, img.W, img.H)
+	return nil
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "input JPEG")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("inspect needs -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec, err := jpegcodec.Decode(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %dx%d, %d component(s), %v", *in, dec.W, dec.H, dec.Components, dec.Sampling)
+	if dec.RestartInterval > 0 {
+		fmt.Printf(", restart interval %d", dec.RestartInterval)
+	}
+	fmt.Println()
+	for id, tbl := range dec.QuantTables {
+		fmt.Printf("\nquantization table %d (mean step %.1f):\n%s", id, tbl.Mean(), tbl.String())
+	}
+	return nil
+}

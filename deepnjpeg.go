@@ -1,0 +1,159 @@
+// Package deepnjpeg is the public API of the DeepN-JPEG reproduction: a
+// deep-neural-network-favorable JPEG compression framework (Liu et al.,
+// DAC 2018). Instead of the human-visual-system quantization table that
+// ships with JPEG, DeepN-JPEG derives a table from the statistics of the
+// dataset itself — per-band DCT coefficient standard deviations mapped
+// through a piece-wise linear function — preserving the frequency content
+// DNN classifiers rely on while compressing ~3.5× harder than
+// quality-matched JPEG.
+//
+// Typical use:
+//
+//	codec, err := deepnjpeg.Calibrate(trainImages, deepnjpeg.CalibrateConfig{})
+//	data, err := codec.Encode(img)       // DeepN-JPEG compressed (real JFIF)
+//	img2, err := deepnjpeg.Decode(data)  // decodable by any JPEG decoder
+//
+// The emitted streams are standard baseline JFIF: any JPEG decoder
+// (including Go's image/jpeg) reads them.
+package deepnjpeg
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/imgutil"
+	"repro/internal/jpegcodec"
+	"repro/internal/plm"
+	"repro/internal/qtable"
+)
+
+// Image is an interleaved 8-bit RGB image.
+type Image = imgutil.RGB
+
+// Gray is a single-plane 8-bit grayscale image.
+type Gray = imgutil.Gray
+
+// QuantTable is a 64-entry JPEG quantization table in row-major order.
+type QuantTable = qtable.Table
+
+// NewImage allocates a zeroed color image.
+func NewImage(w, h int) *Image { return imgutil.NewRGB(w, h) }
+
+// NewGray allocates a zeroed grayscale image.
+func NewGray(w, h int) *Gray { return imgutil.NewGray(w, h) }
+
+// CalibrateConfig tunes the calibration flow. The zero value follows the
+// paper: every image sampled, magnitude-based band segmentation, anchors
+// from the published sensitivity sweeps.
+type CalibrateConfig struct {
+	// SampleEvery keeps every k-th image per class (Algorithm 1); ≤1 keeps
+	// all.
+	SampleEvery int
+	// Chroma additionally calibrates a chroma table from Cb/Cr statistics.
+	Chroma bool
+	// UsePaperParams applies the published ImageNet PLM constants instead
+	// of fitting to this dataset.
+	UsePaperParams bool
+}
+
+// Codec is a calibrated DeepN-JPEG encoder/decoder.
+type Codec struct {
+	fw *core.Framework
+}
+
+// Calibrate runs the DeepN-JPEG design flow on a labeled image set:
+// frequency component analysis, band segmentation by δ magnitude, and
+// piece-wise linear mapping to a quantization table. labels[i] is the
+// class of images[i]; classes drive the stratified sampling.
+func Calibrate(images []*Image, labels []int, cfg CalibrateConfig) (*Codec, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("deepnjpeg: no images")
+	}
+	if len(images) != len(labels) {
+		return nil, fmt.Errorf("deepnjpeg: %d images but %d labels", len(images), len(labels))
+	}
+	ds := &dataset.Dataset{Images: images, Labels: labels, Size: images[0].W}
+	fw, err := core.Calibrate(ds, core.CalibrateOptions{
+		SampleEvery:    cfg.SampleEvery,
+		Chroma:         cfg.Chroma,
+		UsePaperParams: cfg.UsePaperParams,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{fw: fw}, nil
+}
+
+// LumaTable returns the calibrated luminance quantization table.
+func (c *Codec) LumaTable() QuantTable { return c.fw.LumaTable }
+
+// ChromaTable returns the chrominance quantization table (calibrated when
+// CalibrateConfig.Chroma was set, Annex-K/QF-95 otherwise).
+func (c *Codec) ChromaTable() QuantTable { return c.fw.ChromaTable }
+
+// BandSigma returns the measured standard deviation δ(i,j) of the DCT
+// band at natural index n (v*8+u), the statistic the table derives from.
+func (c *Codec) BandSigma(n int) float64 { return c.fw.Stats.Std[n] }
+
+// PLMParams returns the fitted piece-wise linear mapping parameters.
+func (c *Codec) PLMParams() plm.Params { return c.fw.Params }
+
+// Encode compresses a color image with the calibrated tables (4:2:0).
+func (c *Codec) Encode(img *Image) ([]byte, error) {
+	return c.fw.Scheme().EncodeRGB(img)
+}
+
+// EncodeGray compresses a grayscale image with the calibrated luma table.
+func (c *Codec) EncodeGray(img *Gray) ([]byte, error) {
+	return c.fw.Scheme().EncodeGray(img)
+}
+
+// Decode parses any baseline JFIF/JPEG stream into a color image.
+func Decode(data []byte) (*Image, error) {
+	dec, err := jpegcodec.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return dec.RGB(), nil
+}
+
+// DecodeGray parses a baseline JFIF/JPEG stream and returns its luma
+// plane.
+func DecodeGray(data []byte) (*Gray, error) {
+	dec, err := jpegcodec.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return dec.Gray(), nil
+}
+
+// EncodeJPEG compresses with the standard Annex-K tables at a quality
+// factor (the baseline DeepN-JPEG is compared against).
+func EncodeJPEG(img *Image, qf int) ([]byte, error) {
+	luma, err := qtable.Scale(qtable.StdLuminance, qf)
+	if err != nil {
+		return nil, err
+	}
+	chroma, err := qtable.Scale(qtable.StdChrominance, qf)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	opts := jpegcodec.Options{LumaTable: luma, ChromaTable: chroma}
+	if err := jpegcodec.EncodeRGB(&buf, img, &opts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// PSNR computes peak signal-to-noise between two equal-size images.
+func PSNR(a, b *Image) (float64, error) {
+	return imgutil.PSNR(a.Pix, b.Pix)
+}
+
+// CompressionRatio is reference size ÷ compressed size, the paper's CR.
+func CompressionRatio(referenceBytes, compressedBytes int) float64 {
+	return core.CompressionRatio(int64(referenceBytes), int64(compressedBytes))
+}

@@ -1,0 +1,133 @@
+package deepnjpeg
+
+import (
+	"bytes"
+	"image/jpeg"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func calibrationSet(t *testing.T) ([]*Image, []int) {
+	t.Helper()
+	cfg := dataset.Quick()
+	cfg.TrainPerClass, cfg.TestPerClass = 8, 1
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train.Images, train.Labels
+}
+
+func TestCalibrateAndEncode(t *testing.T) {
+	images, labels := calibrationSet(t)
+	codec, err := Calibrate(images, labels, CalibrateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.LumaTable().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := codec.Encode(images[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != images[0].W || back.H != images[0].H {
+		t.Fatalf("decoded %dx%d", back.W, back.H)
+	}
+	// The stream is standard JFIF: stdlib must decode it too.
+	if _, err := jpeg.Decode(bytes.NewReader(data)); err != nil {
+		t.Fatalf("stdlib cannot decode DeepN-JPEG stream: %v", err)
+	}
+}
+
+func TestCalibrateInputValidation(t *testing.T) {
+	if _, err := Calibrate(nil, nil, CalibrateConfig{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	images, labels := calibrationSet(t)
+	if _, err := Calibrate(images, labels[:1], CalibrateConfig{}); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+}
+
+func TestDeepNSmallerThanBaselineJPEG(t *testing.T) {
+	images, labels := calibrationSet(t)
+	codec, err := Calibrate(images, labels, CalibrateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deepTotal, origTotal int
+	for _, im := range images[:10] {
+		d, err := codec.Encode(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := EncodeJPEG(im, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deepTotal += len(d)
+		origTotal += len(o)
+	}
+	if cr := CompressionRatio(origTotal, deepTotal); cr < 1.5 {
+		t.Fatalf("facade CR %.2f < 1.5", cr)
+	}
+}
+
+func TestGrayPath(t *testing.T) {
+	images, labels := calibrationSet(t)
+	codec, err := Calibrate(images, labels, CalibrateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := images[0].ToGray()
+	data, err := codec.EncodeGray(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeGray(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != g.W || back.H != g.H {
+		t.Fatalf("gray decode %dx%d", back.W, back.H)
+	}
+}
+
+func TestBandSigmaAndParamsExposed(t *testing.T) {
+	images, labels := calibrationSet(t)
+	codec, err := Calibrate(images, labels, CalibrateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec.BandSigma(0) <= 0 {
+		t.Fatal("DC σ must be positive on varied data")
+	}
+	if err := codec.PLMParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if codec.ChromaTable().Validate() != nil {
+		t.Fatal("chroma table invalid")
+	}
+}
+
+func TestPSNRHelper(t *testing.T) {
+	a := NewImage(4, 4)
+	b := NewImage(4, 4)
+	b.Pix[0] = 255
+	v, err := PSNR(a, b)
+	if err != nil || v <= 0 {
+		t.Fatalf("PSNR %v, %v", v, err)
+	}
+}
+
+func TestEncodeJPEGRejectsBadQF(t *testing.T) {
+	if _, err := EncodeJPEG(NewImage(8, 8), 0); err == nil {
+		t.Fatal("QF 0 accepted")
+	}
+}

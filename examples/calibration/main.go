@@ -1,0 +1,78 @@
+// Calibration walkthrough: runs each stage of the DeepN-JPEG design flow
+// (Fig. 4 of the paper) separately and prints what it produces — per-band
+// coefficient statistics, the magnitude-based LF/MF/HF segmentation with
+// its T1/T2 thresholds, the fitted piece-wise linear mapping, and the
+// final quantization table next to the Annex-K default.
+//
+//	go run ./examples/calibration
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/freqstat"
+	"repro/internal/plm"
+	"repro/internal/qtable"
+)
+
+func main() {
+	cfg := dataset.Quick()
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1 (Algorithm 1): stratified sampling + block DCT statistics.
+	idx := freqstat.StratifiedIndices(train.Labels, 2) // every 2nd image per class
+	acc := freqstat.NewAccumulator()
+	for _, i := range idx {
+		acc.AddRGBLuma(train.Images[i])
+	}
+	stats, err := acc.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled %d of %d images → %d blocks analyzed\n\n", len(idx), train.Len(), acc.Blocks())
+
+	// Top bands by δ: the importance ranking that replaces "low frequency
+	// first".
+	type band struct {
+		n     int
+		sigma float64
+	}
+	var bands []band
+	for n := 0; n < 64; n++ {
+		bands = append(bands, band{n, stats.Std[n]})
+	}
+	sort.Slice(bands, func(a, b int) bool { return bands[a].sigma > bands[b].sigma })
+	fmt.Println("ten most important bands by δ (u,v = horizontal, vertical frequency):")
+	for _, b := range bands[:10] {
+		fmt.Printf("  band (u=%d, v=%d)  δ = %7.2f\n", b.n%8, b.n/8, b.sigma)
+	}
+
+	// Stage 2: magnitude-based segmentation.
+	seg := freqstat.SegmentByMagnitude(stats)
+	fmt.Printf("\nsegmentation thresholds: T1 = %.2f (HF/MF), T2 = %.2f (MF/LF), δmax = %.2f\n",
+		seg.T1, seg.T2, stats.MaxStd())
+
+	// Stage 3: fit the piece-wise linear mapping.
+	params, err := plm.Fit(plm.PaperAnchors(), seg.T1, seg.T2, stats.MaxStd())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PLM fit: a=%.1f b=%.1f c=%.1f k1=%.3f k2=%.3f k3=%.3f\n",
+		params.A, params.B, params.C, params.K1, params.K2, params.K3)
+
+	// Stage 4: the table.
+	tbl, err := params.Table(stats)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDeepN-JPEG table (mean step %.1f):\n%s", tbl.Mean(), tbl.String())
+	fmt.Printf("\nJPEG Annex-K luminance table (mean step %.1f):\n%s", qtable.StdLuminance.Mean(), qtable.StdLuminance.String())
+	fmt.Println("\nNote how DeepN-JPEG assigns fine steps to the bands ranked above —")
+	fmt.Println("wherever they fall in the spectrum — and crushes everything else.")
+}

@@ -1,0 +1,82 @@
+// Edge-sensor simulation: an IoT camera produces images continuously and
+// must offload them for cloud DNN inference (the paper's motivating
+// scenario). This example compares the per-image and per-day uplink
+// latency and radio energy of shipping Original (QF-100), JPEG QF-50 and
+// DeepN-JPEG streams over 3G, LTE and Wi-Fi, plus the break-even against
+// running the DNN on-device.
+//
+//	go run ./examples/edge-sensor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/nn/models"
+)
+
+func main() {
+	cfg := dataset.Quick()
+	cfg.Color = true
+	cfg.TrainPerClass, cfg.TestPerClass = 40, 20
+	train, test, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := core.Calibrate(train, core.CalibrateOptions{Chroma: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schemes := []core.Scheme{
+		core.SchemeOriginal(),
+		core.SchemeJPEG(50),
+		fw.Scheme(),
+	}
+	n := int64(test.Len())
+	fmt.Printf("sensor batch: %d images, %dx%d RGB\n\n", n, test.Size, test.Size)
+	fmt.Printf("%-12s %10s  %22s  %22s\n", "scheme", "B/image", "latency/img (3G LTE WiFi)", "mJ/img (3G LTE WiFi)")
+	perImage := map[string]int64{}
+	for _, s := range schemes {
+		size, err := core.CompressedSize(test, s, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := size / n
+		perImage[s.Name] = b
+		fmt.Printf("%-12s %10d  %6.0f %6.0f %6.0f ms  %8.1f %6.1f %6.1f\n",
+			s.Name, b,
+			energy.ThreeG.TransferLatency(b).Seconds()*1000,
+			energy.LTE.TransferLatency(b).Seconds()*1000,
+			energy.WiFi.TransferLatency(b).Seconds()*1000,
+			energy.ThreeG.TransferEnergy(b)*1000,
+			energy.LTE.TransferEnergy(b)*1000,
+			energy.WiFi.TransferEnergy(b)*1000,
+		)
+	}
+
+	// A day of sensing at one frame per second over 3G.
+	const framesPerDay = 86_400
+	fmt.Printf("\n1 fps for a day over 3G:\n")
+	for _, s := range schemes {
+		joules := energy.ThreeG.TransferEnergy(perImage[s.Name] * framesPerDay)
+		fmt.Printf("  %-12s %8.0f J (%.1f Wh)\n", s.Name, joules, joules/3600)
+	}
+
+	// Compare against on-device inference (mini-resnet10 as the edge DNN).
+	m, err := models.Build("mini-resnet10", models.Config{Channels: 3, Size: test.Size, Classes: cfg.Classes, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	macs := m.MACs([]int{3, test.Size, test.Size})
+	compute := energy.DefaultCompute().Energy(macs)
+	fmt.Printf("\non-device inference (mini-resnet10, %.1fM MACs): %.3f mJ/frame\n", float64(macs)/1e6, compute*1000)
+	deepnTransfer := energy.ThreeG.TransferEnergy(perImage["deepn-jpeg"])
+	origTransfer := energy.ThreeG.TransferEnergy(perImage["original"])
+	fmt.Printf("offload vs compute over 3G: original %.1f×, deepn-jpeg %.1f× the inference energy\n",
+		origTransfer/compute, deepnTransfer/compute)
+	fmt.Println("\nDeepN-JPEG moves the offload/compute trade-off decisively toward offloading.")
+}

@@ -1,0 +1,179 @@
+package deepnjpeg
+
+// End-to-end integration tests: the full DeepN-JPEG story exercised
+// through the public facade plus the internal training substrate — the
+// closed loop the paper's evaluation rests on.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/jpegcodec"
+	"repro/internal/nn"
+	"repro/internal/nn/models"
+	"repro/internal/qtable"
+)
+
+// TestEndToEndStory verifies the central claim on a small instance:
+// a classifier trained on original data keeps (nearly) its accuracy on
+// DeepN-JPEG-compressed inputs at a compression ratio where plain JPEG
+// already degrades.
+func TestEndToEndStory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	cfg := dataset.Quick()
+	cfg.TrainPerClass, cfg.TestPerClass = 40, 20
+	train, test, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.Calibrate(train, core.CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := models.Build("minicnn", models.Config{Channels: 1, Size: cfg.Size, Classes: cfg.Classes, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(train.Tensors(false), nn.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.04, Momentum: 0.9, Seed: 11})
+
+	accOn := func(s core.Scheme) (float64, float64) {
+		res, err := core.Transcode(test, s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		origBytes, err := core.CompressedSize(test, core.SchemeOriginal(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Accuracy(res.Dataset.Tensors(false)), core.CompressionRatio(origBytes, res.TotalBytes)
+	}
+
+	accOrig, _ := accOn(core.SchemeOriginal())
+	accDeepN, crDeepN := accOn(fw.Scheme())
+	accQ20, crQ20 := accOn(core.SchemeJPEG(20))
+
+	if accOrig < 0.8 {
+		t.Fatalf("baseline accuracy %.2f too low for a meaningful comparison", accOrig)
+	}
+	// DeepN-JPEG: near-original accuracy at substantial CR.
+	if accDeepN < accOrig-0.05 {
+		t.Fatalf("DeepN accuracy %.2f fell more than 5pp below original %.2f", accDeepN, accOrig)
+	}
+	if crDeepN < 2 {
+		t.Fatalf("DeepN CR %.2f < 2", crDeepN)
+	}
+	// Aggressive JPEG: comparable CR but worse accuracy than DeepN.
+	if accQ20 >= accDeepN {
+		t.Fatalf("JPEG QF20 accuracy %.2f (CR %.2f) not below DeepN %.2f (CR %.2f) — the paper's contrast is missing",
+			accQ20, crQ20, accDeepN, crDeepN)
+	}
+}
+
+// TestFacadeStreamsAreJPEGCompatible round-trips a facade-encoded stream
+// through the internal decoder and checks every structural property a
+// third-party JPEG tool would rely on.
+func TestFacadeStreamsAreJPEGCompatible(t *testing.T) {
+	cfg := dataset.Quick()
+	cfg.TrainPerClass, cfg.TestPerClass = 6, 1
+	cfg.Color = true
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := Calibrate(train.Images, train.Labels, CalibrateConfig{Chroma: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := codec.Encode(train.Images[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := jpegcodec.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Components != 3 || dec.Sampling != jpegcodec.Sub420 {
+		t.Fatalf("unexpected stream structure: %d components, %v", dec.Components, dec.Sampling)
+	}
+	if dec.QuantTables[0] != codec.LumaTable() {
+		t.Fatal("luma DQT does not match the calibrated table")
+	}
+	if dec.QuantTables[1] != codec.ChromaTable() {
+		t.Fatal("chroma DQT does not match the calibrated table")
+	}
+}
+
+// TestRequantizeArchiveToDeepN exercises the archive-retrofit path: a
+// stock JPEG is requantized to a calibrated table in the coefficient
+// domain and shrinks without structural damage.
+func TestRequantizeArchiveToDeepN(t *testing.T) {
+	cfg := dataset.Quick()
+	cfg.TrainPerClass, cfg.TestPerClass = 8, 2
+	train, test, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.Calibrate(train, core.CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Archive" image: stock JPEG at QF 95.
+	archive, err := EncodeJPEG(test.Images[0], 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := jpegcodec.Decode(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := jpegcodec.Requantize(&out, dec, fw.LumaTable, fw.ChromaTable, &jpegcodec.Options{OptimizeHuffman: true}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() >= len(archive) {
+		t.Fatalf("requantized archive grew: %d → %d bytes", len(archive), out.Len())
+	}
+	back, err := Decode(out.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := PSNR(test.Images[0], back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 22 {
+		t.Fatalf("retrofit PSNR %.1f dB", psnr)
+	}
+}
+
+// TestTableFamiliesAreWellFormed sanity-checks every table family the
+// evaluation uses through one validator.
+func TestTableFamiliesAreWellFormed(t *testing.T) {
+	cfg := dataset.Quick()
+	cfg.TrainPerClass, cfg.TestPerClass = 4, 1
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.Calibrate(train, core.CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := map[string]qtable.Table{
+		"annex-k-luma":   qtable.StdLuminance,
+		"annex-k-chroma": qtable.StdChrominance,
+		"qf20":           qtable.MustScale(qtable.StdLuminance, 20),
+		"qf100":          qtable.MustScale(qtable.StdLuminance, 100),
+		"same-q":         qtable.Uniform(8),
+		"deepn":          fw.LumaTable,
+	}
+	for name, tbl := range tables {
+		if err := tbl.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

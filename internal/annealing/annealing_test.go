@@ -1,0 +1,167 @@
+package annealing
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/imgutil"
+	"repro/internal/qtable"
+)
+
+func testObjective(t *testing.T, lambda float64) *Objective {
+	t.Helper()
+	cfg := dataset.Quick()
+	cfg.TrainPerClass, cfg.TestPerClass = 6, 1
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grays []*imgutil.Gray
+	for _, im := range train.Images {
+		grays = append(grays, im.ToGray())
+	}
+	blocks := CollectBlocks(grays, 2)
+	if len(blocks) == 0 {
+		t.Fatal("no blocks collected")
+	}
+	return &Objective{Blocks: blocks, Lambda: lambda}
+}
+
+func TestCollectBlocksSampling(t *testing.T) {
+	g := imgutil.NewGray(32, 32) // 16 blocks
+	all := CollectBlocks([]*imgutil.Gray{g}, 1)
+	half := CollectBlocks([]*imgutil.Gray{g}, 2)
+	if len(all) != 16 || len(half) != 8 {
+		t.Fatalf("collected %d / %d, want 16 / 8", len(all), len(half))
+	}
+	if got := CollectBlocks([]*imgutil.Gray{g}, 0); len(got) != 16 {
+		t.Fatalf("every=0 collected %d", len(got))
+	}
+}
+
+func TestCostMonotonicInSteps(t *testing.T) {
+	o := testObjective(t, 0.001)
+	coarse := o.Cost(qtable.Uniform(64))
+	fine := o.Cost(qtable.Uniform(2))
+	// Fine steps cost more rate; with tiny λ rate dominates.
+	if fine <= coarse {
+		t.Fatalf("fine table cost %.2f not above coarse %.2f under rate-dominant λ", fine, coarse)
+	}
+	// With huge λ distortion dominates and the ordering flips.
+	o.Lambda = 100
+	coarse = o.Cost(qtable.Uniform(64))
+	fine = o.Cost(qtable.Uniform(2))
+	if fine >= coarse {
+		t.Fatalf("fine table cost %.2f not below coarse %.2f under distortion-dominant λ", fine, coarse)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int32]float64{0: 0, 1: 2, -1: 2, 3: 3, 4: 4, -255: 9}
+	for v, want := range cases {
+		if got := bitsFor(v); got != want {
+			t.Errorf("bitsFor(%d) = %g, want %g", v, got, want)
+		}
+	}
+}
+
+func TestOptimizeImprovesCost(t *testing.T) {
+	o := testObjective(t, 0.01)
+	cfg := DefaultConfig()
+	cfg.Iterations = 1200
+	res, err := Optimize(o, qtable.Uniform(16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost >= res.InitialCost {
+		t.Fatalf("no improvement: %.3f → %.3f", res.InitialCost, res.Cost)
+	}
+	if err := res.Table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != cfg.Iterations+1 {
+		t.Fatalf("evaluations %d", res.Evaluations)
+	}
+	if res.Accepted == 0 {
+		t.Fatal("no moves accepted")
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	o := testObjective(t, 0.01)
+	cfg := DefaultConfig()
+	cfg.Iterations = 300
+	a, err := Optimize(o, qtable.StdLuminance, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(o, qtable.StdLuminance, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table != b.Table || a.Cost != b.Cost {
+		t.Fatal("annealing not deterministic under fixed seed")
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	o := testObjective(t, 0.01)
+	bad := DefaultConfig()
+	bad.Iterations = 0
+	if _, err := Optimize(o, qtable.StdLuminance, bad); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	bad = DefaultConfig()
+	bad.Cooling = 1.5
+	if _, err := Optimize(o, qtable.StdLuminance, bad); err == nil {
+		t.Error("cooling ≥ 1 accepted")
+	}
+	var invalid qtable.Table
+	if _, err := Optimize(o, invalid, DefaultConfig()); err == nil {
+		t.Error("invalid initial table accepted")
+	}
+	empty := &Objective{Lambda: 1}
+	if _, err := Optimize(empty, qtable.StdLuminance, DefaultConfig()); err == nil {
+		t.Error("empty objective accepted")
+	}
+}
+
+// TestLambdaShapesResult: higher λ (quality-hungry) must end with finer
+// average steps than a rate-hungry search.
+func TestLambdaShapesResult(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 1500
+	oRate := testObjective(t, 0.0005)
+	rateRes, err := Optimize(oRate, qtable.Uniform(32), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oQual := testObjective(t, 1.0)
+	qualRes, err := Optimize(oQual, qtable.Uniform(32), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qualRes.Table.Mean() >= rateRes.Table.Mean() {
+		t.Fatalf("quality-hungry mean step %.1f not finer than rate-hungry %.1f",
+			qualRes.Table.Mean(), rateRes.Table.Mean())
+	}
+}
+
+func BenchmarkObjectiveCost(b *testing.B) {
+	cfg := dataset.Quick()
+	cfg.TrainPerClass, cfg.TestPerClass = 4, 1
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var grays []*imgutil.Gray
+	for _, im := range train.Images {
+		grays = append(grays, im.ToGray())
+	}
+	o := &Objective{Blocks: CollectBlocks(grays, 1), Lambda: 0.01}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Cost(qtable.StdLuminance)
+	}
+}

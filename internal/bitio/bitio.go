@@ -1,0 +1,210 @@
+// Package bitio provides MSB-first bit-level readers and writers with the
+// byte-stuffing semantics required by JPEG entropy-coded segments.
+//
+// JPEG entropy-coded data is a big-endian bit stream in which any 0xFF byte
+// produced by the coder must be followed by a stuffed 0x00 byte so that
+// decoders can distinguish data from marker prefixes (ITU-T T.81 §B.1.1.5).
+// Writer performs that stuffing transparently; Reader removes it and stops
+// cleanly at the first marker it encounters.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrMarker is returned by Reader when the underlying stream reaches a JPEG
+// marker (0xFF followed by a non-zero, non-fill byte) instead of more
+// entropy-coded data.
+var ErrMarker = errors.New("bitio: encountered JPEG marker in entropy data")
+
+// Writer accumulates bits MSB-first and flushes them to an io.Writer.
+// The zero value is not usable; construct with NewWriter.
+type Writer struct {
+	w     io.Writer
+	acc   uint32 // bit accumulator, bits occupy the low `nacc` positions
+	nacc  uint   // number of valid bits in acc
+	stuff bool   // insert 0x00 after every 0xFF data byte
+	buf   []byte // pending output bytes
+	n     int64  // total bytes written (including stuffed bytes)
+}
+
+// NewWriter returns a Writer that performs JPEG byte stuffing.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, stuff: true, buf: make([]byte, 0, 4096)}
+}
+
+// NewRawWriter returns a Writer without byte stuffing, for generic
+// MSB-first bit packing outside entropy-coded segments.
+func NewRawWriter(w io.Writer) *Writer {
+	return &Writer{w: w, stuff: false, buf: make([]byte, 0, 4096)}
+}
+
+// WriteBits appends the low n bits of v to the stream, most significant bit
+// first. n must be in [0, 24]; larger writes must be split by the caller.
+func (bw *Writer) WriteBits(v uint32, n uint) error {
+	if n > 24 {
+		return fmt.Errorf("bitio: WriteBits length %d exceeds 24", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	v &= (1 << n) - 1
+	bw.acc = bw.acc<<n | v
+	bw.nacc += n
+	for bw.nacc >= 8 {
+		bw.nacc -= 8
+		b := byte(bw.acc >> bw.nacc)
+		bw.emit(b)
+	}
+	return nil
+}
+
+func (bw *Writer) emit(b byte) {
+	bw.buf = append(bw.buf, b)
+	bw.n++
+	if bw.stuff && b == 0xFF {
+		bw.buf = append(bw.buf, 0x00)
+		bw.n++
+	}
+}
+
+// Flush pads the final partial byte with 1-bits (the JPEG convention, which
+// makes padding decode as a fill prefix of a marker) and writes all pending
+// bytes to the underlying writer.
+func (bw *Writer) Flush() error {
+	if bw.nacc > 0 {
+		pad := 8 - bw.nacc
+		bw.acc = bw.acc<<pad | ((1 << pad) - 1)
+		bw.nacc = 0
+		bw.emit(byte(bw.acc))
+	}
+	if len(bw.buf) > 0 {
+		if _, err := bw.w.Write(bw.buf); err != nil {
+			return err
+		}
+		bw.buf = bw.buf[:0]
+	}
+	return nil
+}
+
+// BytesWritten reports the number of bytes emitted so far, including
+// stuffed 0x00 bytes but excluding bits still held in the accumulator.
+func (bw *Writer) BytesWritten() int64 { return bw.n }
+
+// Reader consumes an MSB-first bit stream, removing JPEG byte stuffing.
+// The zero value is not usable; construct with NewReader.
+type Reader struct {
+	r      io.ByteReader
+	acc    uint32
+	nacc   uint
+	stuff  bool
+	marker byte // pending marker code once ErrMarker has been returned
+}
+
+// NewReader returns a Reader that removes JPEG byte stuffing and stops at
+// markers.
+func NewReader(r io.ByteReader) *Reader {
+	return &Reader{r: r, stuff: true}
+}
+
+// NewRawReader returns a Reader without stuffing semantics.
+func NewRawReader(r io.ByteReader) *Reader {
+	return &Reader{r: r, stuff: false}
+}
+
+// ReadBits reads n bits (n ≤ 24) MSB-first and returns them in the low bits
+// of the result. It returns ErrMarker when a JPEG marker interrupts the
+// stream and io.EOF at end of input.
+func (br *Reader) ReadBits(n uint) (uint32, error) {
+	if n > 24 {
+		return 0, fmt.Errorf("bitio: ReadBits length %d exceeds 24", n)
+	}
+	for br.nacc < n {
+		b, err := br.nextByte()
+		if err != nil {
+			return 0, err
+		}
+		br.acc = br.acc<<8 | uint32(b)
+		br.nacc += 8
+	}
+	br.nacc -= n
+	v := (br.acc >> br.nacc) & ((1 << n) - 1)
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (br *Reader) ReadBit() (uint32, error) { return br.ReadBits(1) }
+
+func (br *Reader) nextByte() (byte, error) {
+	b, err := br.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	if !br.stuff || b != 0xFF {
+		return b, nil
+	}
+	// 0xFF: inspect the next byte to distinguish stuffed data from markers.
+	b2, err := br.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case b2 == 0x00:
+		return 0xFF, nil // stuffed data byte
+	case b2 == 0xFF:
+		// Fill byte; keep scanning. (T.81 allows runs of 0xFF fill.)
+		for b2 == 0xFF {
+			b2, err = br.r.ReadByte()
+			if err != nil {
+				return 0, err
+			}
+		}
+		if b2 == 0x00 {
+			return 0xFF, nil
+		}
+		br.marker = b2
+		return 0, ErrMarker
+	default:
+		br.marker = b2
+		return 0, ErrMarker
+	}
+}
+
+// Marker returns the marker code (the byte following 0xFF) that terminated
+// the stream, valid only after ReadBits returned ErrMarker.
+func (br *Reader) Marker() byte { return br.marker }
+
+// Align discards buffered bits so that subsequent reads start at the next
+// byte boundary.
+func (br *Reader) Align() { br.nacc = 0; br.acc = 0 }
+
+// ReadMarker aligns to a byte boundary and consumes the next JPEG marker,
+// returning its code. If a previous ReadBits already ran into a marker
+// (ErrMarker), that pending marker is returned without consuming input.
+func (br *Reader) ReadMarker() (byte, error) {
+	br.Align()
+	if br.marker != 0 {
+		m := br.marker
+		br.marker = 0
+		return m, nil
+	}
+	b, err := br.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	if b != 0xFF {
+		return 0, fmt.Errorf("bitio: expected marker, found byte %#02x", b)
+	}
+	for b == 0xFF {
+		b, err = br.r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+	}
+	if b == 0x00 {
+		return 0, errors.New("bitio: stuffed byte where marker expected")
+	}
+	return b, nil
+}

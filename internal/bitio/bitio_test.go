@@ -1,0 +1,268 @@
+package bitio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteBitsBasic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRawWriter(&buf)
+	// 0b1010_1010 = 0xAA, written as 4+4 bits.
+	if err := w.WriteBits(0b1010, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBits(0b1010, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); len(got) != 1 || got[0] != 0xAA {
+		t.Fatalf("got % X, want AA", got)
+	}
+}
+
+func TestFlushPadsWithOnes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRawWriter(&buf)
+	if err := w.WriteBits(0, 3); err != nil { // 000 then pad 11111
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); len(got) != 1 || got[0] != 0x1F {
+		t.Fatalf("got % X, want 1F", got)
+	}
+}
+
+func TestByteStuffing(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBits(0xFF, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBits(0x12, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xFF, 0x00, 0x12}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("got % X, want % X", buf.Bytes(), want)
+	}
+	if w.BytesWritten() != 3 {
+		t.Fatalf("BytesWritten = %d, want 3", w.BytesWritten())
+	}
+}
+
+func TestReaderUnstuffs(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0xFF, 0x00, 0x12}))
+	v, err := r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xFF {
+		t.Fatalf("first byte = %#x, want 0xFF", v)
+	}
+	v, err = r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x12 {
+		t.Fatalf("second byte = %#x, want 0x12", v)
+	}
+}
+
+func TestReaderStopsAtMarker(t *testing.T) {
+	// Data byte, then an EOI marker (FF D9).
+	r := NewReader(bytes.NewReader([]byte{0xAB, 0xFF, 0xD9}))
+	if v, err := r.ReadBits(8); err != nil || v != 0xAB {
+		t.Fatalf("ReadBits = %#x, %v", v, err)
+	}
+	_, err := r.ReadBits(8)
+	if !errors.Is(err, ErrMarker) {
+		t.Fatalf("err = %v, want ErrMarker", err)
+	}
+	if r.Marker() != 0xD9 {
+		t.Fatalf("Marker = %#x, want 0xD9", r.Marker())
+	}
+}
+
+func TestReaderSkipsFillBytes(t *testing.T) {
+	// FF FF FF D9: run of fill bytes then EOI.
+	r := NewReader(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xD9}))
+	_, err := r.ReadBits(1)
+	if !errors.Is(err, ErrMarker) {
+		t.Fatalf("err = %v, want ErrMarker", err)
+	}
+	if r.Marker() != 0xD9 {
+		t.Fatalf("Marker = %#x, want 0xD9", r.Marker())
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewRawReader(bytes.NewReader([]byte{0xA0}))
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriteBitsRejectsWideWrites(t *testing.T) {
+	w := NewRawWriter(&bytes.Buffer{})
+	if err := w.WriteBits(0, 25); err == nil {
+		t.Fatal("expected error for 25-bit write")
+	}
+	r := NewRawReader(bytes.NewReader(nil))
+	if _, err := r.ReadBits(25); err == nil {
+		t.Fatal("expected error for 25-bit read")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	r := NewRawReader(bytes.NewReader([]byte{0xF0, 0x0F}))
+	if v, _ := r.ReadBits(4); v != 0xF {
+		t.Fatalf("got %#x", v)
+	}
+	r.Align()
+	if v, _ := r.ReadBits(8); v != 0x0F {
+		t.Fatalf("after Align got %#x, want 0x0F", v)
+	}
+}
+
+// TestRoundTripRandom writes random bit groups and reads them back,
+// exercising stuffing on random data.
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var widths []uint
+		var values []uint32
+		total := uint(0)
+		for i := 0; i < 200; i++ {
+			n := uint(rng.Intn(24) + 1)
+			widths = append(widths, n)
+			values = append(values, rng.Uint32()&((1<<n)-1))
+			total += n
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i, n := range widths {
+			if err := w.WriteBits(values[i], n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		for i, n := range widths {
+			v, err := r.ReadBits(n)
+			if err != nil {
+				t.Fatalf("trial %d read %d: %v", trial, i, err)
+			}
+			if v != values[i] {
+				t.Fatalf("trial %d group %d: got %#x want %#x (width %d)", trial, i, v, values[i], n)
+			}
+		}
+	}
+}
+
+// Property: for any byte sequence, writing it through a stuffing writer and
+// reading through a stuffing reader is the identity.
+func TestPropertyStuffRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, b := range data {
+			if err := w.WriteBits(uint32(b), 8); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		for _, b := range data {
+			v, err := r.ReadBits(8)
+			if err != nil || v != uint32(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stuffed output never contains 0xFF followed by a byte that is
+// neither 0x00 nor another 0xFF (i.e. never forges a marker).
+func TestPropertyNoForgedMarkers(t *testing.T) {
+	f := func(data []byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, b := range data {
+			if err := w.WriteBits(uint32(b), 8); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		out := buf.Bytes()
+		for i := 0; i+1 < len(out); i++ {
+			if out[i] == 0xFF && out[i+1] != 0x00 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteBits(uint32(i)&0x3FF, 10); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<20 {
+			buf.Reset()
+		}
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	data := make([]byte, 1<<16)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	// Pre-stuff the data so the reader sees a valid stream.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, d := range data {
+		w.WriteBits(uint32(d), 8)
+	}
+	w.Flush()
+	stream := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := NewReader(bytes.NewReader(stream))
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadBits(10); err != nil {
+			r = NewReader(bytes.NewReader(stream))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package dct
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardAANMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		b := randBlock(rng)
+		ref := b
+		ForwardAAN(&b)
+		ForwardReference(&ref)
+		if d := maxAbsDiff(&b, &ref); d > 1e-9 {
+			t.Fatalf("trial %d: max |aan-ref| = %g", trial, d)
+		}
+	}
+}
+
+func TestInverseAANMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		b := randBlock(rng)
+		ref := b
+		InverseAAN(&b)
+		InverseReference(&ref)
+		if d := maxAbsDiff(&b, &ref); d > 1e-9 {
+			t.Fatalf("trial %d: max |aan-ref| = %g", trial, d)
+		}
+	}
+}
+
+func TestAANRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randBlock(rng)
+		b := orig
+		ForwardAAN(&b)
+		InverseAAN(&b)
+		return maxAbsDiff(&b, &orig) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAANCrossCompatible: forward with one implementation, inverse with
+// the other — both directions must land back on the original samples.
+func TestAANCrossCompatible(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	orig := randBlock(rng)
+	b := orig
+	ForwardAAN(&b)
+	Inverse(&b)
+	if d := maxAbsDiff(&b, &orig); d > 1e-9 {
+		t.Fatalf("AAN forward + separable inverse: %g", d)
+	}
+	b = orig
+	Forward(&b)
+	InverseAAN(&b)
+	if d := maxAbsDiff(&b, &orig); d > 1e-9 {
+		t.Fatalf("separable forward + AAN inverse: %g", d)
+	}
+}
+
+func TestAANDCOfConstantBlock(t *testing.T) {
+	var b Block
+	for i := range b {
+		b[i] = 100
+	}
+	ForwardAAN(&b)
+	if d := b[0] - 800; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("DC = %g, want 800", b[0])
+	}
+}
+
+func BenchmarkForwardAAN(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	blk := randBlock(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		work := blk
+		ForwardAAN(&work)
+	}
+}
+
+func BenchmarkInverseAAN(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	blk := randBlock(rng)
+	ForwardAAN(&blk)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		work := blk
+		InverseAAN(&work)
+	}
+}

@@ -1,0 +1,125 @@
+package freqstat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dct"
+)
+
+// Histogram records the empirical distribution of one band's coefficients
+// with fixed-width bins over a symmetric range, supporting the
+// distribution diagnostics the paper bases its model on (Reininger &
+// Gibson: AC coefficients are approximately zero-mean Laplacian).
+type Histogram struct {
+	Band     int // natural band index
+	BinWidth float64
+	// Counts[i] covers [Lo + i·BinWidth, Lo + (i+1)·BinWidth).
+	Counts []int64
+	Lo     float64
+	// Under/Over count samples outside the range.
+	Under, Over int64
+	Total       int64
+}
+
+// NewHistogram builds an empty histogram for a band covering ±halfRange
+// with the given number of bins.
+func NewHistogram(band, bins int, halfRange float64) (*Histogram, error) {
+	if band < 0 || band > 63 {
+		return nil, fmt.Errorf("freqstat: band %d out of range", band)
+	}
+	if bins < 2 {
+		return nil, fmt.Errorf("freqstat: need at least 2 bins, got %d", bins)
+	}
+	if halfRange <= 0 {
+		return nil, fmt.Errorf("freqstat: half range %g must be positive", halfRange)
+	}
+	return &Histogram{
+		Band:     band,
+		BinWidth: 2 * halfRange / float64(bins),
+		Counts:   make([]int64, bins),
+		Lo:       -halfRange,
+	}, nil
+}
+
+// Add folds one coefficient block into the histogram.
+func (h *Histogram) Add(b *dct.Block) {
+	v := b[h.Band]
+	h.Total++
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Lo+float64(len(h.Counts))*h.BinWidth:
+		h.Over++
+	default:
+		h.Counts[int((v-h.Lo)/h.BinWidth)]++
+	}
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.Lo + (float64(best)+0.5)*h.BinWidth
+}
+
+// LaplaceFitError measures how far the empirical distribution is from the
+// Laplace(0, b) model with scale b, as total variation distance in [0, 1].
+// Small values support the paper's modeling assumption; DC (which is not
+// zero-mean) typically scores poorly.
+func (h *Histogram) LaplaceFitError(scale float64) (float64, error) {
+	if scale <= 0 {
+		return 0, fmt.Errorf("freqstat: Laplace scale %g must be positive", scale)
+	}
+	if h.Total == 0 {
+		return 0, fmt.Errorf("freqstat: empty histogram")
+	}
+	cdf := func(x float64) float64 {
+		if x < 0 {
+			return 0.5 * math.Exp(x/scale)
+		}
+		return 1 - 0.5*math.Exp(-x/scale)
+	}
+	tv := 0.0
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*h.BinWidth
+		hi := lo + h.BinWidth
+		model := cdf(hi) - cdf(lo)
+		emp := float64(c) / float64(h.Total)
+		tv += math.Abs(model - emp)
+	}
+	// Mass outside the histogram range.
+	tv += math.Abs(cdf(h.Lo) - float64(h.Under)/float64(h.Total))
+	tv += math.Abs((1 - cdf(h.Lo+float64(len(h.Counts))*h.BinWidth)) - float64(h.Over)/float64(h.Total))
+	return tv / 2, nil
+}
+
+// HistogramSet accumulates histograms for every band simultaneously while
+// scanning planes, sharing the DCT work.
+type HistogramSet struct {
+	Hists [64]*Histogram
+}
+
+// NewHistogramSet builds histograms for all 64 bands.
+func NewHistogramSet(bins int, halfRange float64) (*HistogramSet, error) {
+	s := &HistogramSet{}
+	for band := 0; band < 64; band++ {
+		h, err := NewHistogram(band, bins, halfRange)
+		if err != nil {
+			return nil, err
+		}
+		s.Hists[band] = h
+	}
+	return s, nil
+}
+
+// AddBlock folds one coefficient block into every band histogram.
+func (s *HistogramSet) AddBlock(b *dct.Block) {
+	for _, h := range s.Hists {
+		h.Add(b)
+	}
+}

@@ -1,0 +1,148 @@
+package freqstat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dct"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(-1, 10, 100); err == nil {
+		t.Error("negative band accepted")
+	}
+	if _, err := NewHistogram(0, 1, 100); err == nil {
+		t.Error("single bin accepted")
+	}
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero range accepted")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(5, 4, 2) // bins of width 1 over [−2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(v float64) {
+		var b dct.Block
+		b[5] = v
+		h.Add(&b)
+	}
+	add(-1.5) // bin 0
+	add(-0.5) // bin 1
+	add(0.5)  // bin 2
+	add(1.5)  // bin 3
+	add(-3)   // under
+	add(2)    // over (range is half-open)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[3] != 1 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+	if h.Under != 1 || h.Over != 1 || h.Total != 6 {
+		t.Fatalf("under/over/total = %d/%d/%d", h.Under, h.Over, h.Total)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h, err := NewHistogram(0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b dct.Block
+	for i := 0; i < 5; i++ {
+		b[0] = 0.5
+		h.Add(&b)
+	}
+	b[0] = -1.5
+	h.Add(&b)
+	if got := h.Mode(); got != 0.5 {
+		t.Fatalf("mode %g, want 0.5", got)
+	}
+}
+
+// TestLaplaceFitOnLaplaceData: synthetic Laplace samples must fit their
+// own scale well and fit a wildly wrong scale poorly.
+func TestLaplaceFitOnLaplaceData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, err := NewHistogram(3, 64, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 8.0
+	for i := 0; i < 20000; i++ {
+		// Inverse-CDF sampling of Laplace(0, scale).
+		u := rng.Float64() - 0.5
+		v := -scale * math.Copysign(math.Log(1-2*math.Abs(u)), u)
+		var b dct.Block
+		b[3] = v
+		h.Add(&b)
+	}
+	good, err := h.LaplaceFitError(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := h.LaplaceFitError(scale * 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good > 0.05 {
+		t.Fatalf("fit error %g on true-scale Laplace data", good)
+	}
+	if bad < 3*good {
+		t.Fatalf("wrong scale fit %g not clearly worse than %g", bad, good)
+	}
+}
+
+func TestLaplaceFitErrors(t *testing.T) {
+	h, err := NewHistogram(0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.LaplaceFitError(1); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	var b dct.Block
+	h.Add(&b)
+	if _, err := h.LaplaceFitError(0); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+// TestHistogramSetAgainstStats: the σ estimated from histogram second
+// moments must roughly match the Welford accumulator on the same data.
+func TestHistogramSetAgainstStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	set, err := NewHistogramSet(128, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAccumulator()
+	for i := 0; i < 3000; i++ {
+		var b dct.Block
+		for j := range b {
+			b[j] = rng.NormFloat64() * float64(j%8+1)
+		}
+		set.AddBlock(&b)
+		acc.AddBlock(&b)
+	}
+	stats, err := acc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, band := range []int{1, 7, 35} {
+		h := set.Hists[band]
+		var m, m2 float64
+		for i, c := range h.Counts {
+			center := h.Lo + (float64(i)+0.5)*h.BinWidth
+			m += center * float64(c)
+			m2 += center * center * float64(c)
+		}
+		n := float64(h.Total - h.Under - h.Over)
+		mean := m / n
+		std := math.Sqrt(m2/n - mean*mean)
+		if math.Abs(std-stats.Std[band]) > 0.15*stats.Std[band]+0.5 {
+			t.Fatalf("band %d: histogram σ %.2f vs welford %.2f", band, std, stats.Std[band])
+		}
+	}
+}

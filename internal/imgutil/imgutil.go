@@ -1,0 +1,288 @@
+// Package imgutil provides the 8-bit image representations used throughout
+// the DeepN-JPEG pipeline: interleaved RGB and single-plane grayscale
+// images, JFIF YCbCr color conversion, chroma subsampling, block
+// partitioning with edge replication, and quality metrics (MSE/PSNR).
+package imgutil
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+)
+
+// Gray is a single-plane 8-bit image in row-major order.
+type Gray struct {
+	W, H int
+	Pix  []uint8 // len == W*H
+}
+
+// RGB is an interleaved 8-bit color image (R,G,B triplets, row-major).
+type RGB struct {
+	W, H int
+	Pix  []uint8 // len == 3*W*H
+}
+
+// NewGray allocates a zeroed w×h grayscale image.
+func NewGray(w, h int) *Gray { return &Gray{W: w, H: h, Pix: make([]uint8, w*h)} }
+
+// NewRGB allocates a zeroed w×h color image.
+func NewRGB(w, h int) *RGB { return &RGB{W: w, H: h, Pix: make([]uint8, 3*w*h)} }
+
+// At returns the sample at (x, y).
+func (g *Gray) At(x, y int) uint8 { return g.Pix[y*g.W+x] }
+
+// Set stores a sample at (x, y).
+func (g *Gray) Set(x, y int, v uint8) { g.Pix[y*g.W+x] = v }
+
+// At returns the (r, g, b) triplet at (x, y).
+func (im *RGB) At(x, y int) (r, g, b uint8) {
+	i := 3 * (y*im.W + x)
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// Set stores an (r, g, b) triplet at (x, y).
+func (im *RGB) Set(x, y int, r, g, b uint8) {
+	i := 3 * (y*im.W + x)
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// Clone returns a deep copy.
+func (g *Gray) Clone() *Gray {
+	out := NewGray(g.W, g.H)
+	copy(out.Pix, g.Pix)
+	return out
+}
+
+// Clone returns a deep copy.
+func (im *RGB) Clone() *RGB {
+	out := NewRGB(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// clamp8 rounds and clamps a float to [0, 255].
+func clamp8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// Planes holds the three JFIF YCbCr planes of an image at full resolution.
+type Planes struct {
+	W, H      int
+	Y, Cb, Cr []uint8
+	Grayscale bool // true when the source had no chroma (Cb, Cr == nil)
+}
+
+// ToYCbCr converts an RGB image to full-resolution JFIF YCbCr planes using
+// the BT.601 matrix (the one mandated by JFIF 1.02).
+func ToYCbCr(im *RGB) *Planes {
+	n := im.W * im.H
+	p := &Planes{W: im.W, H: im.H, Y: make([]uint8, n), Cb: make([]uint8, n), Cr: make([]uint8, n)}
+	for i := 0; i < n; i++ {
+		r := float64(im.Pix[3*i])
+		g := float64(im.Pix[3*i+1])
+		b := float64(im.Pix[3*i+2])
+		p.Y[i] = clamp8(0.299*r + 0.587*g + 0.114*b)
+		p.Cb[i] = clamp8(-0.168736*r - 0.331264*g + 0.5*b + 128)
+		p.Cr[i] = clamp8(0.5*r - 0.418688*g - 0.081312*b + 128)
+	}
+	return p
+}
+
+// GrayPlanes wraps a grayscale image as a luma-only plane set.
+func GrayPlanes(g *Gray) *Planes {
+	return &Planes{W: g.W, H: g.H, Y: g.Pix, Grayscale: true}
+}
+
+// ToRGB converts YCbCr planes back to interleaved RGB. Grayscale plane sets
+// replicate luma into all three channels.
+func (p *Planes) ToRGB() *RGB {
+	im := NewRGB(p.W, p.H)
+	n := p.W * p.H
+	for i := 0; i < n; i++ {
+		y := float64(p.Y[i])
+		if p.Grayscale {
+			v := clamp8(y)
+			im.Pix[3*i], im.Pix[3*i+1], im.Pix[3*i+2] = v, v, v
+			continue
+		}
+		cb := float64(p.Cb[i]) - 128
+		cr := float64(p.Cr[i]) - 128
+		im.Pix[3*i] = clamp8(y + 1.402*cr)
+		im.Pix[3*i+1] = clamp8(y - 0.344136*cb - 0.714136*cr)
+		im.Pix[3*i+2] = clamp8(y + 1.772*cb)
+	}
+	return im
+}
+
+// ToGray extracts the luma plane as a grayscale image.
+func (p *Planes) ToGray() *Gray {
+	g := NewGray(p.W, p.H)
+	copy(g.Pix, p.Y)
+	return g
+}
+
+// Downsample2x2 reduces a plane by 2 in each dimension by box averaging,
+// the subsampling JPEG uses for 4:2:0 chroma. Odd dimensions replicate the
+// final row/column.
+func Downsample2x2(pix []uint8, w, h int) (out []uint8, ow, oh int) {
+	ow, oh = (w+1)/2, (h+1)/2
+	out = make([]uint8, ow*oh)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			x0, y0 := 2*x, 2*y
+			x1, y1 := min(x0+1, w-1), min(y0+1, h-1)
+			s := int(pix[y0*w+x0]) + int(pix[y0*w+x1]) + int(pix[y1*w+x0]) + int(pix[y1*w+x1])
+			out[y*ow+x] = uint8((s + 2) / 4)
+		}
+	}
+	return out, ow, oh
+}
+
+// Upsample2x2 expands a plane by 2 in each dimension using sample
+// replication (the baseline JPEG "box" upsampler).
+func Upsample2x2(pix []uint8, w, h, ow, oh int) []uint8 {
+	out := make([]uint8, ow*oh)
+	for y := 0; y < oh; y++ {
+		sy := min(y/2, h-1)
+		for x := 0; x < ow; x++ {
+			sx := min(x/2, w-1)
+			out[y*ow+x] = pix[sy*w+sx]
+		}
+	}
+	return out
+}
+
+// BlockGrid describes how a plane tiles into 8×8 blocks.
+type BlockGrid struct {
+	BlocksX, BlocksY int
+}
+
+// Blocks returns the total number of blocks.
+func (g BlockGrid) Blocks() int { return g.BlocksX * g.BlocksY }
+
+// GridFor computes the 8×8 block tiling of a w×h plane (ceil division).
+func GridFor(w, h int) BlockGrid {
+	return BlockGrid{BlocksX: (w + 7) / 8, BlocksY: (h + 7) / 8}
+}
+
+// ExtractBlock copies the 8×8 tile at block coordinates (bx, by) from a
+// plane into dst, replicating edge samples when the plane does not divide
+// evenly (the standard JPEG edge-extension policy).
+func ExtractBlock(pix []uint8, w, h, bx, by int, dst *[64]uint8) {
+	for y := 0; y < 8; y++ {
+		sy := by*8 + y
+		if sy >= h {
+			sy = h - 1
+		}
+		row := pix[sy*w:]
+		for x := 0; x < 8; x++ {
+			sx := bx*8 + x
+			if sx >= w {
+				sx = w - 1
+			}
+			dst[y*8+x] = row[sx]
+		}
+	}
+}
+
+// StoreBlock writes an 8×8 tile back into a plane, discarding samples that
+// fall outside the plane bounds.
+func StoreBlock(pix []uint8, w, h, bx, by int, src *[64]uint8) {
+	for y := 0; y < 8; y++ {
+		sy := by*8 + y
+		if sy >= h {
+			break
+		}
+		for x := 0; x < 8; x++ {
+			sx := bx*8 + x
+			if sx >= w {
+				break
+			}
+			pix[sy*w+sx] = src[y*8+x]
+		}
+	}
+}
+
+// MSE returns the mean squared error between two equally sized pixel
+// buffers.
+func MSE(a, b []uint8) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("imgutil: MSE length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s / float64(len(a)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two equally
+// sized pixel buffers. Identical buffers return +Inf.
+func PSNR(a, b []uint8) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// FromImage converts any image.Image to an interleaved RGB image.
+func FromImage(src image.Image) *RGB {
+	b := src.Bounds()
+	out := NewRGB(b.Dx(), b.Dy())
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			r, g, bl, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			out.Set(x, y, uint8(r>>8), uint8(g>>8), uint8(bl>>8))
+		}
+	}
+	return out
+}
+
+// ToImage converts an RGB image to a stdlib *image.RGBA.
+func (im *RGB) ToImage() *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			out.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	return out
+}
+
+// ToGray converts an RGB image to grayscale via the BT.601 luma weights.
+func (im *RGB) ToGray() *Gray {
+	g := NewGray(im.W, im.H)
+	n := im.W * im.H
+	for i := 0; i < n; i++ {
+		r := float64(im.Pix[3*i])
+		gg := float64(im.Pix[3*i+1])
+		b := float64(im.Pix[3*i+2])
+		g.Pix[i] = clamp8(0.299*r + 0.587*gg + 0.114*b)
+	}
+	return g
+}
+
+// ToRGB replicates a grayscale image into three channels.
+func (g *Gray) ToRGB() *RGB {
+	im := NewRGB(g.W, g.H)
+	for i, v := range g.Pix {
+		im.Pix[3*i], im.Pix[3*i+1], im.Pix[3*i+2] = v, v, v
+	}
+	return im
+}

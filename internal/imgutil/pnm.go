@@ -1,0 +1,112 @@
+package imgutil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePPM serializes an RGB image in binary PPM (P6) format.
+func WritePPM(w io.Writer, im *RGB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(im.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePGM serializes a grayscale image in binary PGM (P5) format.
+func WritePGM(w io.Writer, g *Gray) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(g.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPPM parses a binary PPM (P6) image.
+func ReadPPM(r io.Reader) (*RGB, error) {
+	br := bufio.NewReader(r)
+	w, h, err := readPNMHeader(br, "P6")
+	if err != nil {
+		return nil, err
+	}
+	im := NewRGB(w, h)
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("imgutil: short PPM pixel data: %w", err)
+	}
+	return im, nil
+}
+
+// ReadPGM parses a binary PGM (P5) image.
+func ReadPGM(r io.Reader) (*Gray, error) {
+	br := bufio.NewReader(r)
+	w, h, err := readPNMHeader(br, "P5")
+	if err != nil {
+		return nil, err
+	}
+	g := NewGray(w, h)
+	if _, err := io.ReadFull(br, g.Pix); err != nil {
+		return nil, fmt.Errorf("imgutil: short PGM pixel data: %w", err)
+	}
+	return g, nil
+}
+
+// readPNMHeader parses "<magic> <w> <h> <maxval>" skipping whitespace and
+// '#' comments, and validates maxval == 255.
+func readPNMHeader(br *bufio.Reader, magic string) (w, h int, err error) {
+	tok, err := pnmToken(br)
+	if err != nil {
+		return 0, 0, err
+	}
+	if tok != magic {
+		return 0, 0, fmt.Errorf("imgutil: bad PNM magic %q, want %q", tok, magic)
+	}
+	var dims [3]int
+	for i := range dims {
+		tok, err := pnmToken(br)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := fmt.Sscanf(tok, "%d", &dims[i]); err != nil {
+			return 0, 0, fmt.Errorf("imgutil: bad PNM header field %q", tok)
+		}
+	}
+	if dims[0] <= 0 || dims[1] <= 0 {
+		return 0, 0, fmt.Errorf("imgutil: invalid PNM dimensions %dx%d", dims[0], dims[1])
+	}
+	if dims[2] != 255 {
+		return 0, 0, fmt.Errorf("imgutil: unsupported PNM maxval %d", dims[2])
+	}
+	return dims[0], dims[1], nil
+}
+
+// pnmToken reads the next whitespace-delimited token, skipping comments.
+// It consumes exactly one trailing whitespace byte, as PNM requires.
+func pnmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}

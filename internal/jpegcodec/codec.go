@@ -1,0 +1,149 @@
+// Package jpegcodec implements a complete baseline sequential JPEG
+// (ITU-T T.81 / JFIF) encoder and decoder with full control over the
+// quantization tables — the control DeepN-JPEG needs and that high-level
+// libraries hide. It supports grayscale and YCbCr color images, 4:4:4 and
+// 4:2:0 chroma subsampling, standard and per-image optimized Huffman
+// tables, restart intervals, and the coefficient zero-masks used by the
+// paper's RM-HF baseline.
+package jpegcodec
+
+import (
+	"repro/internal/dct"
+	"repro/internal/qtable"
+)
+
+// Marker codes (second byte, after 0xFF).
+const (
+	mSOI  = 0xD8 // start of image
+	mEOI  = 0xD9 // end of image
+	mSOF0 = 0xC0 // baseline DCT frame
+	mSOF1 = 0xC1 // extended sequential (unsupported)
+	mSOF2 = 0xC2 // progressive (unsupported)
+	mDHT  = 0xC4 // define huffman table
+	mDQT  = 0xDB // define quantization table
+	mDRI  = 0xDD // define restart interval
+	mSOS  = 0xDA // start of scan
+	mAPP0 = 0xE0 // JFIF
+	mCOM  = 0xFE // comment
+	mRST0 = 0xD0 // restart markers D0..D7
+)
+
+// Subsampling selects the chroma layout of color images.
+type Subsampling int
+
+const (
+	// Sub420 halves chroma in both dimensions (2×2 luma factors), the
+	// layout used by virtually all consumer JPEGs and the zero-value
+	// default of Options.
+	Sub420 Subsampling = iota
+	// Sub444 keeps chroma at full resolution (1×1 sampling factors).
+	Sub444
+)
+
+func (s Subsampling) String() string {
+	switch s {
+	case Sub444:
+		return "4:4:4"
+	case Sub420:
+		return "4:2:0"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures the encoder. The zero value encodes 4:2:0 color with
+// the Annex-K tables at QF 50 and standard Huffman tables.
+type Options struct {
+	// LumaTable and ChromaTable are the quantization tables. Zero-valued
+	// tables default to the Annex-K references.
+	LumaTable   qtable.Table
+	ChromaTable qtable.Table
+	// Subsampling selects 4:4:4 or 4:2:0 for color input.
+	Subsampling Subsampling
+	// OptimizeHuffman derives per-image Huffman tables (two-pass encode),
+	// matching libjpeg's -optimize flag.
+	OptimizeHuffman bool
+	// ZeroMask forces the marked coefficients to zero before entropy
+	// coding (the RM-HF scheme). Applies to all components.
+	ZeroMask *qtable.ZeroMask
+	// RestartInterval inserts RSTn markers every n MCUs when > 0.
+	RestartInterval int
+}
+
+// withDefaults fills in zero-valued tables.
+func (o Options) withDefaults() Options {
+	var zero qtable.Table
+	if o.LumaTable == zero {
+		o.LumaTable = qtable.StdLuminance
+	}
+	if o.ChromaTable == zero {
+		o.ChromaTable = qtable.StdChrominance
+	}
+	return o
+}
+
+// component describes one frame component during encoding or decoding.
+type component struct {
+	id     uint8 // component identifier as stored in SOF/SOS
+	h, v   int   // sampling factors
+	tq     int   // quantization table id
+	td, ta int   // huffman table ids (DC, AC)
+
+	w, hgt int     // plane dimensions in samples
+	pix    []uint8 // plane samples (decoder) or source samples (encoder)
+
+	blocksX, blocksY int          // MCU-padded block grid
+	coefs            [][64]int32  // quantized coefficients per block, natural order
+	table            qtable.Table // dequantization table (decoder)
+}
+
+// quantize rounds coef/step half away from zero, the quantizer in T.81 and
+// Eq. (1) of the paper's JPEG description.
+func quantize(c float64, q uint16) int32 {
+	v := c / float64(q)
+	if v >= 0 {
+		return int32(v + 0.5)
+	}
+	return int32(v - 0.5)
+}
+
+// blockCoefficients runs the forward path for one 8×8 tile: level shift,
+// DCT, quantization, and optional zero-masking. samples is the tile in
+// row-major order; the result is in natural order.
+func blockCoefficients(samples *[64]uint8, tbl *qtable.Table, mask *qtable.ZeroMask) [64]int32 {
+	var blk dct.Block
+	dct.LevelShift(samples[:], &blk)
+	dct.Forward(&blk)
+	var out [64]int32
+	for i := 0; i < 64; i++ {
+		if mask != nil && mask[i] {
+			continue
+		}
+		out[i] = quantize(blk[i], tbl[i])
+	}
+	return out
+}
+
+// reconstructBlock runs the inverse path: dequantize, IDCT, level unshift.
+func reconstructBlock(coefs *[64]int32, tbl *qtable.Table, dst *[64]uint8) {
+	var blk dct.Block
+	for i := 0; i < 64; i++ {
+		blk[i] = float64(coefs[i]) * float64(tbl[i])
+	}
+	dct.Inverse(&blk)
+	dct.LevelUnshift(&blk, dst[:])
+}
+
+// bitCategory returns the JPEG magnitude category of v: the number of bits
+// needed to represent |v| (0 for v == 0).
+func bitCategory(v int32) int {
+	if v < 0 {
+		v = -v
+	}
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}

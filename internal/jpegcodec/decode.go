@@ -1,0 +1,489 @@
+package jpegcodec
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitio"
+	"repro/internal/imgutil"
+	"repro/internal/qtable"
+)
+
+// Decoded holds the result of decoding a baseline JPEG stream together
+// with the coding metadata the DeepN-JPEG tooling inspects.
+type Decoded struct {
+	W, H       int
+	Components int // 1 (grayscale) or 3 (YCbCr)
+
+	// Per-component planes at their coded (possibly subsampled) size.
+	planes [3]struct {
+		w, h int
+		pix  []uint8
+	}
+	coefs   [3][][64]int32 // quantized coefficients in block-row order
+	blocksX [3]int
+	blocksY [3]int
+
+	// QuantTables holds the dequantization tables by table id.
+	QuantTables map[int]qtable.Table
+	// Sampling describes the chroma layout of 3-component images.
+	Sampling Subsampling
+	// RestartInterval is the parsed DRI value (0 when absent).
+	RestartInterval int
+}
+
+// Gray returns the luma plane.
+func (d *Decoded) Gray() *imgutil.Gray {
+	g := imgutil.NewGray(d.planes[0].w, d.planes[0].h)
+	copy(g.Pix, d.planes[0].pix)
+	return g
+}
+
+// Coefficients returns the quantized DCT coefficients of component i in
+// natural order, along with the MCU-padded block-grid dimensions. Blocks
+// are stored row-major (by*blocksX + bx).
+func (d *Decoded) Coefficients(i int) (blocks [][64]int32, blocksX, blocksY int) {
+	return d.coefs[i], d.blocksX[i], d.blocksY[i]
+}
+
+// RGB reconstructs a full-resolution color image, upsampling chroma when
+// needed. Grayscale sources replicate luma.
+func (d *Decoded) RGB() *imgutil.RGB {
+	if d.Components == 1 {
+		return d.Gray().ToRGB()
+	}
+	p := &imgutil.Planes{W: d.W, H: d.H, Y: d.planes[0].pix}
+	if d.planes[1].w == d.W && d.planes[1].h == d.H {
+		p.Cb = d.planes[1].pix
+		p.Cr = d.planes[2].pix
+	} else {
+		p.Cb = imgutil.Upsample2x2(d.planes[1].pix, d.planes[1].w, d.planes[1].h, d.W, d.H)
+		p.Cr = imgutil.Upsample2x2(d.planes[2].pix, d.planes[2].w, d.planes[2].h, d.W, d.H)
+	}
+	return p.ToRGB()
+}
+
+// decoder carries parsing state.
+type decoder struct {
+	br    *bufio.Reader
+	quant map[int]qtable.Table
+	huff  map[int]*decTable // key: class<<4 | id
+	comps []*component
+	w, h  int
+	ri    int // restart interval in MCUs
+}
+
+// Decode parses a baseline sequential JFIF/JPEG stream. Progressive and
+// arithmetic-coded streams are rejected with an error.
+func Decode(r io.Reader) (*Decoded, error) {
+	d := &decoder{
+		br:    bufio.NewReader(r),
+		quant: map[int]qtable.Table{},
+		huff:  map[int]*decTable{},
+	}
+	return d.run()
+}
+
+func (d *decoder) run() (*Decoded, error) {
+	m, err := d.readMarkerByte()
+	if err != nil {
+		return nil, err
+	}
+	if m != mSOI {
+		return nil, fmt.Errorf("jpegcodec: missing SOI, found %#02x", m)
+	}
+	for {
+		m, err := d.readMarkerByte()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case m == mSOF0 || m == mSOF1:
+			if err := d.parseSOF(); err != nil {
+				return nil, err
+			}
+		case m == mSOF2:
+			return nil, errors.New("jpegcodec: progressive JPEG not supported")
+		case m >= 0xC3 && m <= 0xCF && m != mDHT && m != 0xC8:
+			return nil, fmt.Errorf("jpegcodec: unsupported frame type %#02x", m)
+		case m == mDQT:
+			if err := d.parseDQT(); err != nil {
+				return nil, err
+			}
+		case m == mDHT:
+			if err := d.parseDHT(); err != nil {
+				return nil, err
+			}
+		case m == mDRI:
+			if err := d.parseDRI(); err != nil {
+				return nil, err
+			}
+		case m == mSOS:
+			if err := d.parseSOSAndScan(); err != nil {
+				return nil, err
+			}
+			return d.finish()
+		case m == mEOI:
+			return nil, errors.New("jpegcodec: EOI before scan data")
+		case m == mSOI:
+			return nil, errors.New("jpegcodec: unexpected second SOI")
+		default:
+			// APPn, COM and anything else with a length field: skip.
+			if err := d.skipSegment(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// readMarkerByte scans for the next 0xFF <code> pair, tolerating fill bytes.
+func (d *decoder) readMarkerByte() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	if b != 0xFF {
+		return 0, fmt.Errorf("jpegcodec: expected marker, found %#02x", b)
+	}
+	for b == 0xFF {
+		b, err = d.br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+	}
+	return b, nil
+}
+
+func (d *decoder) segmentPayload() ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(d.br, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(lenBuf[0])<<8 | int(lenBuf[1])
+	if n < 2 {
+		return nil, fmt.Errorf("jpegcodec: segment length %d too small", n)
+	}
+	payload := make([]byte, n-2)
+	if _, err := io.ReadFull(d.br, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func (d *decoder) skipSegment() error {
+	_, err := d.segmentPayload()
+	return err
+}
+
+func (d *decoder) parseDQT() error {
+	p, err := d.segmentPayload()
+	if err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		pq := int(p[0] >> 4)
+		tq := int(p[0] & 0x0F)
+		p = p[1:]
+		var zz [64]uint16
+		switch pq {
+		case 0:
+			if len(p) < 64 {
+				return errors.New("jpegcodec: truncated 8-bit DQT")
+			}
+			for i := 0; i < 64; i++ {
+				zz[i] = uint16(p[i])
+			}
+			p = p[64:]
+		case 1:
+			if len(p) < 128 {
+				return errors.New("jpegcodec: truncated 16-bit DQT")
+			}
+			for i := 0; i < 64; i++ {
+				zz[i] = uint16(p[2*i])<<8 | uint16(p[2*i+1])
+			}
+			p = p[128:]
+		default:
+			return fmt.Errorf("jpegcodec: bad DQT precision %d", pq)
+		}
+		d.quant[tq] = qtable.FromZigZag(zz)
+	}
+	return nil
+}
+
+func (d *decoder) parseDHT() error {
+	p, err := d.segmentPayload()
+	if err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		if len(p) < 17 {
+			return errors.New("jpegcodec: truncated DHT")
+		}
+		tc := int(p[0] >> 4)
+		th := int(p[0] & 0x0F)
+		if tc > 1 {
+			return fmt.Errorf("jpegcodec: bad huffman class %d", tc)
+		}
+		var spec HuffmanSpec
+		total := 0
+		for i := 0; i < 16; i++ {
+			spec.Counts[i] = p[1+i]
+			total += int(p[1+i])
+		}
+		if len(p) < 17+total {
+			return errors.New("jpegcodec: truncated DHT values")
+		}
+		spec.Values = append([]uint8(nil), p[17:17+total]...)
+		p = p[17+total:]
+		tab, err := buildDecTable(&spec)
+		if err != nil {
+			return err
+		}
+		d.huff[tc<<4|th] = tab
+	}
+	return nil
+}
+
+func (d *decoder) parseDRI() error {
+	p, err := d.segmentPayload()
+	if err != nil {
+		return err
+	}
+	if len(p) != 2 {
+		return errors.New("jpegcodec: bad DRI length")
+	}
+	d.ri = int(p[0])<<8 | int(p[1])
+	return nil
+}
+
+func (d *decoder) parseSOF() error {
+	p, err := d.segmentPayload()
+	if err != nil {
+		return err
+	}
+	if len(p) < 6 {
+		return errors.New("jpegcodec: truncated SOF")
+	}
+	if p[0] != 8 {
+		return fmt.Errorf("jpegcodec: unsupported sample precision %d", p[0])
+	}
+	d.h = int(p[1])<<8 | int(p[2])
+	d.w = int(p[3])<<8 | int(p[4])
+	n := int(p[5])
+	if n != 1 && n != 3 {
+		return fmt.Errorf("jpegcodec: unsupported component count %d", n)
+	}
+	if d.w == 0 || d.h == 0 {
+		return errors.New("jpegcodec: zero frame dimensions")
+	}
+	if len(p) < 6+3*n {
+		return errors.New("jpegcodec: truncated SOF components")
+	}
+	for i := 0; i < n; i++ {
+		c := &component{
+			id: p[6+3*i],
+			h:  int(p[7+3*i] >> 4),
+			v:  int(p[7+3*i] & 0x0F),
+			tq: int(p[8+3*i]),
+		}
+		if c.h < 1 || c.h > 4 || c.v < 1 || c.v > 4 {
+			return fmt.Errorf("jpegcodec: bad sampling factors %dx%d", c.h, c.v)
+		}
+		d.comps = append(d.comps, c)
+	}
+	return nil
+}
+
+// receiveExtend implements the RECEIVE+EXTEND procedure (T.81 F.2.2.1):
+// read s magnitude bits and sign-extend per the JPEG convention.
+func receiveExtend(br *bitio.Reader, s int) (int32, error) {
+	if s == 0 {
+		return 0, nil
+	}
+	bits, err := br.ReadBits(uint(s))
+	if err != nil {
+		return 0, err
+	}
+	v := int32(bits)
+	if v < 1<<(s-1) {
+		v -= (1 << s) - 1
+	}
+	return v, nil
+}
+
+func (d *decoder) parseSOSAndScan() error {
+	if d.comps == nil {
+		return errors.New("jpegcodec: SOS before SOF")
+	}
+	p, err := d.segmentPayload()
+	if err != nil {
+		return err
+	}
+	if len(p) < 1 {
+		return errors.New("jpegcodec: truncated SOS")
+	}
+	ns := int(p[0])
+	if ns != len(d.comps) {
+		return fmt.Errorf("jpegcodec: scan has %d components, frame has %d (partial scans unsupported)", ns, len(d.comps))
+	}
+	if len(p) < 1+2*ns+3 {
+		return errors.New("jpegcodec: truncated SOS payload")
+	}
+	for i := 0; i < ns; i++ {
+		cs := p[1+2*i]
+		var c *component
+		for _, cand := range d.comps {
+			if cand.id == cs {
+				c = cand
+				break
+			}
+		}
+		if c == nil {
+			return fmt.Errorf("jpegcodec: scan references unknown component %d", cs)
+		}
+		c.td = int(p[2+2*i] >> 4)
+		c.ta = int(p[2+2*i] & 0x0F)
+	}
+	ss, se := p[1+2*ns], p[2+2*ns]
+	if ss != 0 || se != 63 {
+		return fmt.Errorf("jpegcodec: spectral selection %d..%d unsupported (baseline only)", ss, se)
+	}
+
+	maxH, maxV := 1, 1
+	for _, c := range d.comps {
+		maxH = max(maxH, c.h)
+		maxV = max(maxV, c.v)
+	}
+	mcusX := (d.w + 8*maxH - 1) / (8 * maxH)
+	mcusY := (d.h + 8*maxV - 1) / (8 * maxV)
+	for _, c := range d.comps {
+		c.w = (d.w*c.h + maxH - 1) / maxH
+		c.hgt = (d.h*c.v + maxV - 1) / maxV
+		c.pix = make([]uint8, c.w*c.hgt)
+		c.blocksX = mcusX * c.h
+		c.blocksY = mcusY * c.v
+		c.coefs = make([][64]int32, c.blocksX*c.blocksY)
+		tbl, ok := d.quant[c.tq]
+		if !ok {
+			return fmt.Errorf("jpegcodec: missing quantization table %d", c.tq)
+		}
+		c.table = tbl
+	}
+
+	br := bitio.NewReader(d.br)
+	prevDC := map[*component]int32{}
+	var tile [64]uint8
+	mcu := 0
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			if d.ri > 0 && mcu > 0 && mcu%d.ri == 0 {
+				m, err := br.ReadMarker()
+				if err != nil {
+					return fmt.Errorf("jpegcodec: reading restart marker: %w", err)
+				}
+				if m < mRST0 || m > mRST0+7 {
+					return fmt.Errorf("jpegcodec: expected RSTn, found %#02x", m)
+				}
+				for _, c := range d.comps {
+					prevDC[c] = 0
+				}
+			}
+			for _, c := range d.comps {
+				dcTab := d.huff[0<<4|c.td]
+				acTab := d.huff[1<<4|c.ta]
+				if dcTab == nil || acTab == nil {
+					return fmt.Errorf("jpegcodec: missing huffman tables %d/%d", c.td, c.ta)
+				}
+				for vy := 0; vy < c.v; vy++ {
+					for vx := 0; vx < c.h; vx++ {
+						coefs, err := decodeBlock(br, dcTab, acTab, prevDC[c])
+						if err != nil {
+							return err
+						}
+						prevDC[c] = coefs[0]
+						bx, by := mx*c.h+vx, my*c.v+vy
+						c.coefs[by*c.blocksX+bx] = coefs
+						reconstructBlock(&coefs, &c.table, &tile)
+						imgutil.StoreBlock(c.pix, c.w, c.hgt, bx, by, &tile)
+					}
+				}
+			}
+			mcu++
+		}
+	}
+	// Consume the trailing EOI (tolerate a missing one).
+	if m, err := br.ReadMarker(); err == nil && m != mEOI {
+		// DNL or other trailing markers are ignored.
+		_ = m
+	}
+	return nil
+}
+
+// decodeBlock entropy-decodes one block into natural-order coefficients.
+func decodeBlock(br *bitio.Reader, dcTab, acTab *decTable, prevDC int32) ([64]int32, error) {
+	var coefs [64]int32
+	s, err := dcTab.decode(br)
+	if err != nil {
+		return coefs, err
+	}
+	diff, err := receiveExtend(br, int(s))
+	if err != nil {
+		return coefs, err
+	}
+	coefs[0] = prevDC + diff
+	for z := 1; z < 64; {
+		sym, err := acTab.decode(br)
+		if err != nil {
+			return coefs, err
+		}
+		run, size := int(sym>>4), int(sym&0x0F)
+		switch {
+		case size == 0 && run == 0: // EOB
+			return coefs, nil
+		case size == 0 && run == 15: // ZRL
+			z += 16
+		case size == 0:
+			return coefs, fmt.Errorf("jpegcodec: invalid AC symbol %#02x", sym)
+		default:
+			z += run
+			if z > 63 {
+				return coefs, errors.New("jpegcodec: AC run overflows block")
+			}
+			v, err := receiveExtend(br, size)
+			if err != nil {
+				return coefs, err
+			}
+			coefs[qtable.ZigZagOrder[z]] = v
+			z++
+		}
+	}
+	return coefs, nil
+}
+
+func (d *decoder) finish() (*Decoded, error) {
+	out := &Decoded{
+		W:               d.w,
+		H:               d.h,
+		Components:      len(d.comps),
+		QuantTables:     d.quant,
+		RestartInterval: d.ri,
+	}
+	if len(d.comps) == 3 {
+		if d.comps[0].h == 2 && d.comps[0].v == 2 {
+			out.Sampling = Sub420
+		} else {
+			out.Sampling = Sub444
+		}
+	}
+	for i, c := range d.comps {
+		out.planes[i].w = c.w
+		out.planes[i].h = c.hgt
+		out.planes[i].pix = c.pix
+		out.coefs[i] = c.coefs
+		out.blocksX[i] = c.blocksX
+		out.blocksY[i] = c.blocksY
+	}
+	return out, nil
+}

@@ -1,0 +1,419 @@
+package jpegcodec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/bitio"
+	"repro/internal/imgutil"
+	"repro/internal/qtable"
+)
+
+// EncodeRGB writes img as a baseline JFIF stream. A nil opts uses defaults
+// (4:2:0, Annex-K tables, standard Huffman).
+func EncodeRGB(w io.Writer, img *imgutil.RGB, opts *Options) error {
+	if img.W <= 0 || img.H <= 0 {
+		return fmt.Errorf("jpegcodec: empty image %dx%d", img.W, img.H)
+	}
+	if img.W > 0xFFFF || img.H > 0xFFFF {
+		return fmt.Errorf("jpegcodec: image %dx%d exceeds 65535 limit", img.W, img.H)
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	if err := o.LumaTable.Validate(); err != nil {
+		return err
+	}
+	if err := o.ChromaTable.Validate(); err != nil {
+		return err
+	}
+
+	planes := imgutil.ToYCbCr(img)
+	var comps []*component
+	switch o.Subsampling {
+	case Sub444:
+		comps = []*component{
+			{id: 1, h: 1, v: 1, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: planes.Y},
+			{id: 2, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: img.W, hgt: img.H, pix: planes.Cb},
+			{id: 3, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: img.W, hgt: img.H, pix: planes.Cr},
+		}
+	case Sub420:
+		cb, cw, ch := imgutil.Downsample2x2(planes.Cb, img.W, img.H)
+		cr, _, _ := imgutil.Downsample2x2(planes.Cr, img.W, img.H)
+		comps = []*component{
+			{id: 1, h: 2, v: 2, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: planes.Y},
+			{id: 2, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: cb},
+			{id: 3, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: cr},
+		}
+	default:
+		return fmt.Errorf("jpegcodec: unknown subsampling %d", o.Subsampling)
+	}
+	return encode(w, img.W, img.H, comps, &o)
+}
+
+// EncodeGray writes img as a single-component baseline JFIF stream. Only
+// the luma quantization table is used.
+func EncodeGray(w io.Writer, img *imgutil.Gray, opts *Options) error {
+	if img.W <= 0 || img.H <= 0 {
+		return fmt.Errorf("jpegcodec: empty image %dx%d", img.W, img.H)
+	}
+	if img.W > 0xFFFF || img.H > 0xFFFF {
+		return fmt.Errorf("jpegcodec: image %dx%d exceeds 65535 limit", img.W, img.H)
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	if err := o.LumaTable.Validate(); err != nil {
+		return err
+	}
+	comps := []*component{
+		{id: 1, h: 1, v: 1, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: img.Pix},
+	}
+	return encode(w, img.W, img.H, comps, &o)
+}
+
+// encode runs the shared encoding pipeline: coefficient computation,
+// optional Huffman optimization, then marker and scan emission.
+func encode(w io.Writer, width, height int, comps []*component, o *Options) error {
+	maxH, maxV := 1, 1
+	for _, c := range comps {
+		maxH = max(maxH, c.h)
+		maxV = max(maxV, c.v)
+	}
+	mcusX := (width + 8*maxH - 1) / (8 * maxH)
+	mcusY := (height + 8*maxV - 1) / (8 * maxV)
+
+	// Forward-transform every block in the MCU-padded grid.
+	for _, c := range comps {
+		tbl := &o.LumaTable
+		if c.tq == 1 {
+			tbl = &o.ChromaTable
+		}
+		c.blocksX = mcusX * c.h
+		c.blocksY = mcusY * c.v
+		c.coefs = make([][64]int32, c.blocksX*c.blocksY)
+		var tile [64]uint8
+		for by := 0; by < c.blocksY; by++ {
+			for bx := 0; bx < c.blocksX; bx++ {
+				imgutil.ExtractBlock(c.pix, c.w, c.hgt, bx, by, &tile)
+				c.coefs[by*c.blocksX+bx] = blockCoefficients(&tile, tbl, o.ZeroMask)
+			}
+		}
+	}
+
+	// Choose Huffman tables.
+	specs := [4]*HuffmanSpec{&StdDCLuminance, &StdACLuminance, &StdDCChrominance, &StdACChrominance}
+	if o.OptimizeHuffman {
+		opt, err := optimizeHuffman(comps, mcusX, mcusY, o.RestartInterval)
+		if err != nil {
+			return err
+		}
+		specs = opt
+	}
+	if len(comps) == 1 {
+		specs[2], specs[3] = nil, nil // no chroma tables needed
+	}
+	var enc [4]*encTable
+	for i, s := range specs {
+		if s == nil {
+			continue
+		}
+		t, err := buildEncTable(s)
+		if err != nil {
+			return err
+		}
+		enc[i] = t
+	}
+
+	bw := bufio.NewWriter(w)
+	if err := writeMarkers(bw, width, height, comps, specs, o); err != nil {
+		return err
+	}
+	if err := writeScan(bw, comps, enc, mcusX, mcusY, o.RestartInterval); err != nil {
+		return err
+	}
+	if err := writeMarker(bw, mEOI); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// tableIDs maps a component to its (DC, AC) indices in the 4-entry table
+// arrays: 0/1 for luma, 2/3 for chroma.
+func tableIDs(c *component) (dc, ac int) {
+	if c.td == 0 {
+		return 0, 1
+	}
+	return 2, 3
+}
+
+// forEachDataUnit visits every block in scan (MCU-interleaved) order,
+// resetting DC predictors at restart boundaries, and invokes fn with the
+// owning component and block. fn signals restarts are due by the encoder
+// emitting them separately; this driver only defines the order.
+func forEachDataUnit(comps []*component, mcusX, mcusY int, fn func(c *component, blockIndex int)) {
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			for _, c := range comps {
+				for vy := 0; vy < c.v; vy++ {
+					for vx := 0; vx < c.h; vx++ {
+						bx := mx*c.h + vx
+						by := my*c.v + vy
+						fn(c, by*c.blocksX+bx)
+					}
+				}
+			}
+		}
+	}
+}
+
+// optimizeHuffman gathers symbol statistics over the exact emission
+// sequence and builds per-image tables.
+func optimizeHuffman(comps []*component, mcusX, mcusY, restart int) ([4]*HuffmanSpec, error) {
+	var freqs [4][256]int64
+	prevDC := map[*component]int32{}
+	mcu := 0
+	countMCU := func(my, mx int) {
+		for _, c := range comps {
+			dcID, acID := tableIDs(c)
+			for vy := 0; vy < c.v; vy++ {
+				for vx := 0; vx < c.h; vx++ {
+					bx := mx*c.h + vx
+					by := my*c.v + vy
+					coefs := &c.coefs[by*c.blocksX+bx]
+					countBlockSymbols(coefs, prevDC[c], &freqs[dcID], &freqs[acID])
+					prevDC[c] = coefs[0]
+				}
+			}
+		}
+	}
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			if restart > 0 && mcu > 0 && mcu%restart == 0 {
+				for _, c := range comps {
+					prevDC[c] = 0
+				}
+			}
+			countMCU(my, mx)
+			mcu++
+		}
+	}
+
+	var out [4]*HuffmanSpec
+	for i := range freqs {
+		if i >= 2 && len(comps) == 1 {
+			out[i] = nil
+			continue
+		}
+		spec, err := BuildOptimizedSpec(&freqs[i])
+		if err != nil {
+			return out, fmt.Errorf("jpegcodec: optimizing table %d: %w", i, err)
+		}
+		out[i] = spec
+	}
+	return out, nil
+}
+
+// countBlockSymbols tallies the DC size category and AC run/size symbols
+// one block would emit.
+func countBlockSymbols(coefs *[64]int32, prevDC int32, dcFreq, acFreq *[256]int64) {
+	diff := coefs[0] - prevDC
+	dcFreq[bitCategory(diff)]++
+	run := 0
+	for z := 1; z < 64; z++ {
+		v := coefs[qtable.ZigZagOrder[z]]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			acFreq[0xF0]++ // ZRL
+			run -= 16
+		}
+		acFreq[uint8(run<<4)|uint8(bitCategory(v))]++
+		run = 0
+	}
+	if run > 0 {
+		acFreq[0x00]++ // EOB
+	}
+}
+
+// writeScan emits the entropy-coded segment.
+func writeScan(w *bufio.Writer, comps []*component, enc [4]*encTable, mcusX, mcusY, restart int) error {
+	bw := bitio.NewWriter(w)
+	prevDC := map[*component]int32{}
+	mcu := 0
+	rstIndex := 0
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			if restart > 0 && mcu > 0 && mcu%restart == 0 {
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+				if err := writeMarker(w, byte(mRST0+rstIndex)); err != nil {
+					return err
+				}
+				rstIndex = (rstIndex + 1) % 8
+				for _, c := range comps {
+					prevDC[c] = 0
+				}
+			}
+			for _, c := range comps {
+				dcID, acID := tableIDs(c)
+				for vy := 0; vy < c.v; vy++ {
+					for vx := 0; vx < c.h; vx++ {
+						bx := mx*c.h + vx
+						by := my*c.v + vy
+						coefs := &c.coefs[by*c.blocksX+bx]
+						if err := encodeBlock(bw, coefs, prevDC[c], enc[dcID], enc[acID]); err != nil {
+							return err
+						}
+						prevDC[c] = coefs[0]
+					}
+				}
+			}
+			mcu++
+		}
+	}
+	return bw.Flush()
+}
+
+// encodeBlock entropy-codes one block of natural-order coefficients.
+func encodeBlock(bw *bitio.Writer, coefs *[64]int32, prevDC int32, dcTab, acTab *encTable) error {
+	// DC: DPCM against the previous block of the same component.
+	diff := coefs[0] - prevDC
+	s := bitCategory(diff)
+	if err := dcTab.emit(bw, uint8(s)); err != nil {
+		return err
+	}
+	if s > 0 {
+		v := diff
+		if v < 0 {
+			v += (1 << s) - 1 // one's-complement representation of negatives
+		}
+		if err := bw.WriteBits(uint32(v), uint(s)); err != nil {
+			return err
+		}
+	}
+	// AC: run-length of zeros + size category, in zig-zag order.
+	run := 0
+	for z := 1; z < 64; z++ {
+		v := coefs[qtable.ZigZagOrder[z]]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			if err := acTab.emit(bw, 0xF0); err != nil { // ZRL
+				return err
+			}
+			run -= 16
+		}
+		s := bitCategory(v)
+		if err := acTab.emit(bw, uint8(run<<4)|uint8(s)); err != nil {
+			return err
+		}
+		bits := v
+		if bits < 0 {
+			bits += (1 << s) - 1
+		}
+		if err := bw.WriteBits(uint32(bits), uint(s)); err != nil {
+			return err
+		}
+		run = 0
+	}
+	if run > 0 {
+		if err := acTab.emit(bw, 0x00); err != nil { // EOB
+			return err
+		}
+	}
+	return nil
+}
+
+// --- marker emission ---
+
+func writeMarker(w *bufio.Writer, code byte) error {
+	_, err := w.Write([]byte{0xFF, code})
+	return err
+}
+
+func writeSegment(w *bufio.Writer, code byte, payload []byte) error {
+	if err := writeMarker(w, code); err != nil {
+		return err
+	}
+	n := len(payload) + 2
+	if _, err := w.Write([]byte{byte(n >> 8), byte(n)}); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeMarkers(w *bufio.Writer, width, height int, comps []*component, specs [4]*HuffmanSpec, o *Options) error {
+	if err := writeMarker(w, mSOI); err != nil {
+		return err
+	}
+	// APP0 JFIF v1.1, 1:1 aspect, no thumbnail.
+	app0 := []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0}
+	if err := writeSegment(w, mAPP0, app0); err != nil {
+		return err
+	}
+	// DQT: luma always; chroma only for color images.
+	if err := writeDQT(w, 0, o.LumaTable); err != nil {
+		return err
+	}
+	if len(comps) > 1 {
+		if err := writeDQT(w, 1, o.ChromaTable); err != nil {
+			return err
+		}
+	}
+	// SOF0.
+	sof := []byte{8, byte(height >> 8), byte(height), byte(width >> 8), byte(width), byte(len(comps))}
+	for _, c := range comps {
+		sof = append(sof, c.id, byte(c.h<<4|c.v), byte(c.tq))
+	}
+	if err := writeSegment(w, mSOF0, sof); err != nil {
+		return err
+	}
+	// DHT: one segment per table, classes 0 (DC) and 1 (AC).
+	classes := [4]byte{0x00, 0x10, 0x01, 0x11} // Tc<<4 | Th
+	for i, spec := range specs {
+		if spec == nil {
+			continue
+		}
+		payload := []byte{classes[i]}
+		payload = append(payload, spec.Counts[:]...)
+		payload = append(payload, spec.Values...)
+		if err := writeSegment(w, mDHT, payload); err != nil {
+			return err
+		}
+	}
+	if o.RestartInterval > 0 {
+		ri := o.RestartInterval
+		if err := writeSegment(w, mDRI, []byte{byte(ri >> 8), byte(ri)}); err != nil {
+			return err
+		}
+	}
+	// SOS.
+	sos := []byte{byte(len(comps))}
+	for _, c := range comps {
+		sos = append(sos, c.id, byte(c.td<<4|c.ta))
+	}
+	sos = append(sos, 0, 63, 0) // Ss, Se, AhAl: full spectral, no approx
+	return writeSegment(w, mSOS, sos)
+}
+
+func writeDQT(w *bufio.Writer, id int, t qtable.Table) error {
+	zz := t.InZigZag()
+	payload := make([]byte, 0, 65)
+	payload = append(payload, byte(id)) // Pq=0 (8-bit), Tq=id
+	for _, q := range zz {
+		payload = append(payload, byte(q))
+	}
+	return writeSegment(w, mDQT, payload)
+}

@@ -1,0 +1,282 @@
+package jpegcodec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// HuffmanSpec is the wire-format description of a Huffman table: Counts[i]
+// is the number of codes of length i+1 (1..16), Values lists the symbols in
+// code order (ITU-T T.81 Annex C).
+type HuffmanSpec struct {
+	Counts [16]uint8
+	Values []uint8
+}
+
+// totalCodes returns the number of symbols described by the spec.
+func (s *HuffmanSpec) totalCodes() int {
+	n := 0
+	for _, c := range s.Counts {
+		n += int(c)
+	}
+	return n
+}
+
+// Validate checks structural invariants: value count matches Counts, and
+// the code space is not over-subscribed at any length (Kraft inequality).
+func (s *HuffmanSpec) Validate() error {
+	if s.totalCodes() != len(s.Values) {
+		return fmt.Errorf("jpegcodec: huffman spec has %d counts but %d values", s.totalCodes(), len(s.Values))
+	}
+	if len(s.Values) == 0 {
+		return fmt.Errorf("jpegcodec: empty huffman spec")
+	}
+	if len(s.Values) > 256 {
+		return fmt.Errorf("jpegcodec: huffman spec has %d values (max 256)", len(s.Values))
+	}
+	code := 0
+	for i, c := range s.Counts {
+		code += int(c)
+		if code > 1<<(i+1) {
+			return fmt.Errorf("jpegcodec: huffman code space over-subscribed at length %d", i+1)
+		}
+		code <<= 1
+	}
+	return nil
+}
+
+// encTable maps a symbol to its canonical code and length for encoding.
+type encTable struct {
+	code [256]uint32
+	size [256]uint8
+}
+
+// buildEncTable derives the canonical encoder table per Annex C.
+func buildEncTable(spec *HuffmanSpec) (*encTable, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := &encTable{}
+	code := uint32(0)
+	k := 0
+	for length := 1; length <= 16; length++ {
+		for i := 0; i < int(spec.Counts[length-1]); i++ {
+			v := spec.Values[k]
+			if t.size[v] != 0 {
+				return nil, fmt.Errorf("jpegcodec: symbol %#x appears twice in huffman spec", v)
+			}
+			t.code[v] = code
+			t.size[v] = uint8(length)
+			code++
+			k++
+		}
+		code <<= 1
+	}
+	return t, nil
+}
+
+// emit writes the code for symbol v.
+func (t *encTable) emit(bw *bitio.Writer, v uint8) error {
+	s := t.size[v]
+	if s == 0 {
+		return fmt.Errorf("jpegcodec: symbol %#x has no huffman code", v)
+	}
+	return bw.WriteBits(t.code[v], uint(s))
+}
+
+// decTable decodes canonical codes with the MINCODE/MAXCODE/VALPTR scheme
+// of T.81 Annex F.2.2.3.
+type decTable struct {
+	minCode [17]int32 // index = code length
+	maxCode [17]int32 // -1 when no codes of that length
+	valPtr  [17]int32
+	values  []uint8
+}
+
+// buildDecTable derives decoder tables from a spec.
+func buildDecTable(spec *HuffmanSpec) (*decTable, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := &decTable{values: append([]uint8(nil), spec.Values...)}
+	code := int32(0)
+	k := int32(0)
+	for length := 1; length <= 16; length++ {
+		n := int32(spec.Counts[length-1])
+		if n == 0 {
+			t.maxCode[length] = -1
+			t.minCode[length] = 0
+			t.valPtr[length] = 0
+		} else {
+			t.valPtr[length] = k
+			t.minCode[length] = code
+			code += n
+			k += n
+			t.maxCode[length] = code - 1
+		}
+		code <<= 1
+	}
+	return t, nil
+}
+
+// decode reads one symbol from the bit stream.
+func (t *decTable) decode(br *bitio.Reader) (uint8, error) {
+	code := int32(0)
+	for length := 1; length <= 16; length++ {
+		bit, err := br.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | int32(bit)
+		if t.maxCode[length] >= 0 && code <= t.maxCode[length] {
+			if code >= t.minCode[length] {
+				return t.values[t.valPtr[length]+code-t.minCode[length]], nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("jpegcodec: invalid huffman code (no symbol within 16 bits)")
+}
+
+// BuildOptimizedSpec constructs a length-limited (≤16 bit) Huffman table
+// from symbol frequencies, following the IJG/Annex-K.2 procedure: a
+// reserved pseudo-symbol guarantees no real symbol is assigned the all-ones
+// code, and over-long codes are shortened by the standard BITS adjustment.
+func BuildOptimizedSpec(freq *[256]int64) (*HuffmanSpec, error) {
+	// freq2 includes the reserved symbol 256 with frequency 1.
+	var freq2 [257]int64
+	used := 0
+	for i, f := range freq {
+		if f < 0 {
+			return nil, fmt.Errorf("jpegcodec: negative frequency for symbol %d", i)
+		}
+		freq2[i] = f
+		if f > 0 {
+			used++
+		}
+	}
+	if used == 0 {
+		return nil, fmt.Errorf("jpegcodec: no symbols to code")
+	}
+	freq2[256] = 1
+
+	codesize := make([]int, 257)
+	others := make([]int, 257)
+	for i := range others {
+		others[i] = -1
+	}
+
+	// Iteratively merge the two least-frequent "trees".
+	for {
+		// c1: least frequent symbol with nonzero freq; ties broken by the
+		// larger symbol value (IJG convention, keeps symbol 256 longest).
+		c1 := -1
+		var v int64 = 1 << 62
+		for i := 0; i <= 256; i++ {
+			if freq2[i] > 0 && freq2[i] <= v {
+				v = freq2[i]
+				c1 = i
+			}
+		}
+		// c2: next least frequent, distinct from c1.
+		c2 := -1
+		v = 1 << 62
+		for i := 0; i <= 256; i++ {
+			if i != c1 && freq2[i] > 0 && freq2[i] <= v {
+				v = freq2[i]
+				c2 = i
+			}
+		}
+		if c2 < 0 {
+			break // one tree left: done
+		}
+		freq2[c1] += freq2[c2]
+		freq2[c2] = 0
+		codesize[c1]++
+		for others[c1] >= 0 {
+			c1 = others[c1]
+			codesize[c1]++
+		}
+		others[c1] = c2
+		codesize[c2]++
+		for others[c2] >= 0 {
+			c2 = others[c2]
+			codesize[c2]++
+		}
+	}
+
+	// Count codes per length; lengths may exceed 16 at this point.
+	var bits [60]int // generous upper bound on code length
+	maxLen := 0
+	for i := 0; i <= 256; i++ {
+		if codesize[i] > 0 {
+			if codesize[i] >= len(bits) {
+				return nil, fmt.Errorf("jpegcodec: huffman code length %d out of range", codesize[i])
+			}
+			bits[codesize[i]]++
+			if codesize[i] > maxLen {
+				maxLen = codesize[i]
+			}
+		}
+	}
+
+	// Limit code lengths to 16 (Annex K.2 adjustment): repeatedly take a
+	// pair of over-long codes and re-root them under a shorter prefix.
+	for l := maxLen; l > 16; l-- {
+		for bits[l] > 0 {
+			// Find the longest length < l with at least one code.
+			j := l - 2
+			for bits[j] == 0 {
+				j--
+			}
+			bits[l] -= 2
+			bits[l-1]++
+			bits[j+1] += 2
+			bits[j]--
+		}
+	}
+
+	// Remove the reserved symbol: it holds the longest code.
+	for l := 16; l >= 1; l-- {
+		if bits[l] > 0 {
+			bits[l]--
+			break
+		}
+	}
+
+	// Emit symbols sorted by (codesize, symbol value).
+	type sym struct {
+		v    int
+		size int
+	}
+	var syms []sym
+	for i := 0; i < 256; i++ {
+		if codesize[i] > 0 {
+			syms = append(syms, sym{v: i, size: codesize[i]})
+		}
+	}
+	sort.Slice(syms, func(a, b int) bool {
+		if syms[a].size != syms[b].size {
+			return syms[a].size < syms[b].size
+		}
+		return syms[a].v < syms[b].v
+	})
+
+	spec := &HuffmanSpec{}
+	total := 0
+	for l := 1; l <= 16; l++ {
+		spec.Counts[l-1] = uint8(bits[l])
+		total += bits[l]
+	}
+	if total != len(syms) {
+		return nil, fmt.Errorf("jpegcodec: internal: bits total %d != symbol count %d", total, len(syms))
+	}
+	for _, s := range syms {
+		spec.Values = append(spec.Values, uint8(s.v))
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("jpegcodec: optimized spec invalid: %w", err)
+	}
+	return spec, nil
+}

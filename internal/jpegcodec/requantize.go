@@ -1,0 +1,114 @@
+package jpegcodec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/qtable"
+)
+
+// Requantize re-encodes a decoded stream under new quantization tables
+// entirely in the coefficient domain: each quantized coefficient is
+// dequantized with the table it was coded with and requantized with the
+// new one, skipping the IDCT→pixels→DCT round trip and its second
+// generation loss. This is how a storage system retrofits DeepN-JPEG
+// tables onto an existing JPEG archive.
+//
+// The optional mask zeroes bands before recoding (the RM-HF transform).
+// Huffman optimization is honored via opts; subsampling always matches
+// the source stream.
+func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Options) error {
+	if err := luma.Validate(); err != nil {
+		return fmt.Errorf("jpegcodec: requantize luma: %w", err)
+	}
+	if d.Components == 3 {
+		if err := chroma.Validate(); err != nil {
+			return fmt.Errorf("jpegcodec: requantize chroma: %w", err)
+		}
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.LumaTable = luma
+	o.ChromaTable = chroma
+
+	// Rebuild encoder components from the decoded coefficient planes.
+	var comps []*component
+	for i := 0; i < d.Components; i++ {
+		oldTbl, ok := d.QuantTables[0]
+		newTbl := &luma
+		c := &component{id: uint8(i + 1), h: 1, v: 1, tq: 0, td: 0, ta: 0}
+		if i > 0 {
+			oldTbl, ok = d.QuantTables[1]
+			newTbl = &chroma
+			c.tq, c.td, c.ta = 1, 1, 1
+		}
+		if !ok {
+			return fmt.Errorf("jpegcodec: source stream lacks quantization table %d", c.tq)
+		}
+		if i == 0 && d.Components == 3 && d.Sampling == Sub420 {
+			c.h, c.v = 2, 2
+		}
+		src, bx, by := d.Coefficients(i)
+		if len(src) == 0 {
+			return fmt.Errorf("jpegcodec: component %d has no coefficients", i)
+		}
+		c.blocksX, c.blocksY = bx, by
+		c.coefs = make([][64]int32, len(src))
+		for bi := range src {
+			for n := 0; n < 64; n++ {
+				if o.ZeroMask != nil && o.ZeroMask[n] {
+					continue
+				}
+				real := float64(src[bi][n]) * float64(oldTbl[n])
+				c.coefs[bi][n] = quantize(real, (*newTbl)[n])
+			}
+		}
+		comps = append(comps, c)
+	}
+
+	maxH, maxV := 1, 1
+	for _, c := range comps {
+		maxH = max(maxH, c.h)
+		maxV = max(maxV, c.v)
+	}
+	mcusX := comps[0].blocksX / comps[0].h
+	mcusY := comps[0].blocksY / comps[0].v
+
+	specs := [4]*HuffmanSpec{&StdDCLuminance, &StdACLuminance, &StdDCChrominance, &StdACChrominance}
+	if o.OptimizeHuffman {
+		opt, err := optimizeHuffman(comps, mcusX, mcusY, o.RestartInterval)
+		if err != nil {
+			return err
+		}
+		specs = opt
+	}
+	if len(comps) == 1 {
+		specs[2], specs[3] = nil, nil
+	}
+	var enc [4]*encTable
+	for i, s := range specs {
+		if s == nil {
+			continue
+		}
+		t, err := buildEncTable(s)
+		if err != nil {
+			return err
+		}
+		enc[i] = t
+	}
+
+	bw := bufio.NewWriter(w)
+	if err := writeMarkers(bw, d.W, d.H, comps, specs, &o); err != nil {
+		return err
+	}
+	if err := writeScan(bw, comps, enc, mcusX, mcusY, o.RestartInterval); err != nil {
+		return err
+	}
+	if err := writeMarker(bw, mEOI); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

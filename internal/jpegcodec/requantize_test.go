@@ -1,0 +1,193 @@
+package jpegcodec
+
+import (
+	"bytes"
+	"image/jpeg"
+	"testing"
+
+	"repro/internal/imgutil"
+	"repro/internal/qtable"
+)
+
+func TestRequantizeBasics(t *testing.T) {
+	img := testImageRGB(64, 48, 30)
+	src := encodeToBytes(t, img, &Options{
+		LumaTable:   qtable.MustScale(qtable.StdLuminance, 95),
+		ChromaTable: qtable.MustScale(qtable.StdChrominance, 95),
+	})
+	dec, err := Decode(bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	newLuma := qtable.MustScale(qtable.StdLuminance, 60)
+	newChroma := qtable.MustScale(qtable.StdChrominance, 60)
+	if err := Requantize(&out, dec, newLuma, newChroma, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() >= len(src) {
+		t.Fatalf("requantized %d bytes not smaller than source %d", out.Len(), len(src))
+	}
+	dec2, err := Decode(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("cannot decode requantized stream: %v", err)
+	}
+	if dec2.QuantTables[0] != newLuma {
+		t.Fatal("new luma table not embedded")
+	}
+	if dec2.W != 64 || dec2.H != 48 || dec2.Sampling != dec.Sampling {
+		t.Fatalf("geometry changed: %dx%d %v", dec2.W, dec2.H, dec2.Sampling)
+	}
+	// The result is standard JFIF.
+	if _, err := jpeg.Decode(bytes.NewReader(out.Bytes())); err != nil {
+		t.Fatalf("stdlib rejects requantized stream: %v", err)
+	}
+	// Quality stays reasonable.
+	psnr, err := imgutil.PSNR(img.Pix, dec2.RGB().Pix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 20 {
+		t.Fatalf("requantized PSNR %.1f too low", psnr)
+	}
+}
+
+// TestRequantizeIdentityIsLossless: requantizing with the same tables must
+// reproduce the exact coefficients (and therefore identical pixels).
+func TestRequantizeIdentityIsLossless(t *testing.T) {
+	img := testImageRGB(48, 40, 31)
+	luma := qtable.MustScale(qtable.StdLuminance, 80)
+	chroma := qtable.MustScale(qtable.StdChrominance, 80)
+	src := encodeToBytes(t, img, &Options{LumaTable: luma, ChromaTable: chroma})
+	dec, err := Decode(bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Requantize(&out, dec, luma, chroma, nil); err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := Decode(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.RGB().Pix, dec2.RGB().Pix) {
+		t.Fatal("identity requantization changed pixels")
+	}
+}
+
+// TestRequantizeBeatsPixelTranscode: coefficient-domain transcoding must
+// not lose more quality than decode→re-encode through pixels.
+func TestRequantizeBeatsPixelTranscode(t *testing.T) {
+	img := testImageRGB(64, 64, 32)
+	srcOpts := &Options{
+		LumaTable:   qtable.MustScale(qtable.StdLuminance, 90),
+		ChromaTable: qtable.MustScale(qtable.StdChrominance, 90),
+	}
+	src := encodeToBytes(t, img, srcOpts)
+	dec, err := Decode(bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newLuma := qtable.MustScale(qtable.StdLuminance, 70)
+	newChroma := qtable.MustScale(qtable.StdChrominance, 70)
+
+	var coefDomain bytes.Buffer
+	if err := Requantize(&coefDomain, dec, newLuma, newChroma, nil); err != nil {
+		t.Fatal(err)
+	}
+	pixDomain := encodeToBytes(t, dec.RGB(), &Options{LumaTable: newLuma, ChromaTable: newChroma})
+
+	decCoef, err := Decode(bytes.NewReader(coefDomain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decPix, err := Decode(bytes.NewReader(pixDomain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnrCoef, err := imgutil.PSNR(img.Pix, decCoef.RGB().Pix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnrPix, err := imgutil.PSNR(img.Pix, decPix.RGB().Pix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow a hair of slack: the comparison is statistical, but coefficient
+	// domain must not be clearly worse.
+	if psnrCoef < psnrPix-0.3 {
+		t.Fatalf("coefficient-domain %.2f dB below pixel-domain %.2f dB", psnrCoef, psnrPix)
+	}
+}
+
+func TestRequantizeWithMaskAndOptimize(t *testing.T) {
+	img := testImageGray(56, 56, 33)
+	var src bytes.Buffer
+	if err := EncodeGray(&src, img, &Options{LumaTable: qtable.MustScale(qtable.StdLuminance, 95)}); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(bytes.NewReader(src.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := qtable.TopZigZag(9)
+	var out bytes.Buffer
+	opts := &Options{ZeroMask: &mask, OptimizeHuffman: true}
+	if err := Requantize(&out, dec, qtable.MustScale(qtable.StdLuminance, 95), qtable.StdChrominance, opts); err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := Decode(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, _, _ := dec2.Coefficients(0)
+	for _, blk := range blocks {
+		for n := 0; n < 64; n++ {
+			if mask[n] && blk[n] != 0 {
+				t.Fatalf("masked band %d nonzero after requantize", n)
+			}
+		}
+	}
+	if out.Len() >= src.Len() {
+		t.Fatalf("masked+optimized %d not smaller than source %d", out.Len(), src.Len())
+	}
+}
+
+func TestRequantizeRejectsBadTables(t *testing.T) {
+	img := testImageGray(16, 16, 34)
+	var src bytes.Buffer
+	if err := EncodeGray(&src, img, nil); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(bytes.NewReader(src.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad qtable.Table // all zeros
+	if err := Requantize(&bytes.Buffer{}, dec, bad, qtable.StdChrominance, nil); err == nil {
+		t.Fatal("invalid table accepted")
+	}
+}
+
+func BenchmarkRequantize(b *testing.B) {
+	img := testImageRGB(128, 128, 35)
+	var src bytes.Buffer
+	if err := EncodeRGB(&src, img, nil); err != nil {
+		b.Fatal(err)
+	}
+	dec, err := Decode(bytes.NewReader(src.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	luma := qtable.MustScale(qtable.StdLuminance, 60)
+	chroma := qtable.MustScale(qtable.StdChrominance, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out bytes.Buffer
+		if err := Requantize(&out, dec, luma, chroma, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

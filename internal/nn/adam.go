@@ -1,0 +1,100 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba 2015) with decoupled
+// L2 regularization folded into the gradient, as an alternative to SGD
+// for architectures (inception, deep residual stacks) whose loss surfaces
+// SGD traverses slowly at small batch sizes.
+type Adam struct {
+	LR, Beta1, Beta2, Eps, WeightDecay float64
+
+	step int
+	m    map[*Param]*Tensor // first-moment estimates
+	v    map[*Param]*Tensor // second-moment estimates
+}
+
+// NewAdam constructs the optimizer with the canonical β defaults.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: map[*Param]*Tensor{}, v: map[*Param]*Tensor{},
+	}
+}
+
+// Step applies one bias-corrected update to every parameter and clears
+// gradients.
+func (o *Adam) Step(params []*Param) {
+	o.step++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	b1 := float32(o.Beta1)
+	b2 := float32(o.Beta2)
+	wd := float32(o.WeightDecay)
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = NewTensor(p.Data.Shape...)
+			v = NewTensor(p.Data.Shape...)
+			o.m[p], o.v[p] = m, v
+		}
+		for i := range p.Data.Data {
+			g := p.Grad.Data[i] + wd*p.Data.Data[i]
+			m.Data[i] = b1*m.Data[i] + (1-b1)*g
+			v.Data[i] = b2*v.Data[i] + (1-b2)*g*g
+			mHat := float64(m.Data[i]) / c1
+			vHat := float64(v.Data[i]) / c2
+			p.Data.Data[i] -= float32(o.LR * mHat / (math.Sqrt(vHat) + o.Eps))
+			p.Grad.Data[i] = 0
+		}
+	}
+}
+
+// Optimizer abstracts the two update rules so training loops can swap
+// them.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+)
+
+// TrainWith runs the same loop as Train but with a caller-provided
+// optimizer (Train keeps its SGD default for backward compatibility with
+// the experiment configs).
+func (m *Model) TrainWith(train *Dataset, cfg TrainConfig, opt Optimizer) []float64 {
+	cfg = cfg.withDefaults()
+	rng := newTrainRNG(cfg.Seed)
+	params := m.Net.Params()
+	n := train.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	losses := make([]float64, 0, cfg.Epochs)
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, n)
+			xb, yb := train.Slice(order[start:end])
+			logits := m.Net.Forward(xb, true)
+			loss := m.Loss.Forward(logits, yb)
+			m.Net.Backward(m.Loss.Backward(yb))
+			clipGradients(params, cfg.ClipNorm)
+			opt.Step(params)
+			epochLoss += loss
+			batches++
+		}
+		epochLoss /= float64(batches)
+		losses = append(losses, epochLoss)
+		if cfg.AfterEpoch != nil {
+			cfg.AfterEpoch(epoch, epochLoss)
+		}
+	}
+	return losses
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAdamFirstStepIsSignedLR(t *testing.T) {
+	// With bias correction, the very first Adam step is ≈ −lr·sign(g).
+	p := newParam("w", 2)
+	p.Grad.Data[0] = 0.5
+	p.Grad.Data[1] = -2
+	opt := NewAdam(0.01, 0)
+	opt.Step([]*Param{p})
+	if math.Abs(float64(p.Data.Data[0])+0.01) > 1e-4 {
+		t.Fatalf("w0 = %g, want ≈ −0.01", p.Data.Data[0])
+	}
+	if math.Abs(float64(p.Data.Data[1])-0.01) > 1e-4 {
+		t.Fatalf("w1 = %g, want ≈ +0.01", p.Data.Data[1])
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("gradient not cleared")
+	}
+}
+
+func TestAdamWeightDecayPullsTowardZero(t *testing.T) {
+	p := newParam("w", 1)
+	p.Data.Data[0] = 5
+	opt := NewAdam(0.1, 0.1)
+	for i := 0; i < 50; i++ {
+		opt.Step([]*Param{p}) // zero loss gradient; only decay acts
+	}
+	if v := float64(p.Data.Data[0]); v >= 5 || v < 0 {
+		t.Fatalf("weight %g did not shrink sensibly", v)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w−3)² by feeding grad = 2(w−3).
+	p := newParam("w", 1)
+	opt := NewAdam(0.1, 0)
+	for i := 0; i < 500; i++ {
+		p.Grad.Data[0] = 2 * (p.Data.Data[0] - 3)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(float64(p.Data.Data[0])-3) > 0.05 {
+		t.Fatalf("w = %g, want ≈ 3", p.Data.Data[0])
+	}
+}
+
+func TestTrainWithAdamLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	net := NewSequential("tiny",
+		NewConv2D("c1", 1, 4, 3, 1, 1, rng),
+		NewReLU("r1"),
+		NewMaxPool2("p1"),
+		NewDense("fc", 4*4*4, 2, rng),
+	)
+	model := NewModel(net)
+	train := makeBlobs(64, 10)
+	test := makeBlobs(32, 11)
+	losses := model.TrainWith(train, TrainConfig{Epochs: 6, BatchSize: 16, Seed: 12}, NewAdam(0.005, 0))
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("Adam loss did not decrease: %v", losses)
+	}
+	if acc := model.Accuracy(test); acc < 0.9 {
+		t.Fatalf("Adam accuracy %.2f", acc)
+	}
+}
+
+func TestTrainWithMatchesTrainUnderSGD(t *testing.T) {
+	build := func() *Model {
+		rng := rand.New(rand.NewSource(31))
+		return NewModel(NewDense("fc", 64, 2, rng))
+	}
+	cfg := TrainConfig{Epochs: 3, BatchSize: 8, LR: 0.05, Momentum: 0.9, Seed: 13}
+	a := build()
+	lossesA := a.Train(makeBlobs(32, 12), cfg)
+	b := build()
+	lossesB := b.TrainWith(makeBlobs(32, 12), cfg, NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay))
+	for i := range lossesA {
+		if lossesA[i] != lossesB[i] {
+			t.Fatalf("TrainWith(SGD) diverges from Train: %v vs %v", lossesA, lossesB)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchNorm2D normalizes each channel over the batch and spatial
+// dimensions, with learned scale/shift and running statistics for
+// inference (Ioffe & Szegedy 2015).
+type BatchNorm2D struct {
+	name     string
+	C        int
+	Eps      float64
+	Momentum float64 // running-stat update rate
+
+	Gamma, Beta             *Param
+	RunningMean, RunningVar *Tensor
+
+	// caches for backward
+	lastXHat []float32
+	lastStd  []float32 // per channel, batch std
+	inShape  []int
+}
+
+// NewBatchNorm2D builds a batch-norm layer for c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	b := &BatchNorm2D{
+		name: name, C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:       newParam(name+".gamma", c),
+		Beta:        newParam(name+".beta", c),
+		RunningMean: NewTensor(c),
+		RunningVar:  NewTensor(c),
+	}
+	for i := 0; i < c; i++ {
+		b.Gamma.Data.Data[i] = 1
+		b.RunningVar.Data[i] = 1
+	}
+	return b
+}
+
+// Name implements Layer.
+func (b *BatchNorm2D) Name() string { return b.name }
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// OutputShape implements Layer.
+func (b *BatchNorm2D) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != b.C {
+		return nil, fmt.Errorf("batchnorm expects %d-channel CHW, got %v", b.C, in)
+	}
+	return in, nil
+}
+
+// MACs implements Layer.
+func (b *BatchNorm2D) MACs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (b *BatchNorm2D) Forward(x *Tensor, train bool) *Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != b.C {
+		panic(fmt.Sprintf("%s: %d channels, want %d", b.name, c, b.C))
+	}
+	b.inShape = x.Shape
+	out := NewTensor(x.Shape...)
+	plane := h * w
+	count := n * plane
+
+	if cap(b.lastXHat) < len(x.Data) {
+		b.lastXHat = make([]float32, len(x.Data))
+	}
+	b.lastXHat = b.lastXHat[:len(x.Data)]
+	if cap(b.lastStd) < c {
+		b.lastStd = make([]float32, c)
+	}
+	b.lastStd = b.lastStd[:c]
+
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if train {
+			var s float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * plane
+				for j := 0; j < plane; j++ {
+					s += float64(x.Data[base+j])
+				}
+			}
+			mean = s / float64(count)
+			var v float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * plane
+				for j := 0; j < plane; j++ {
+					d := float64(x.Data[base+j]) - mean
+					v += d * d
+				}
+			}
+			variance = v / float64(count)
+			m := b.Momentum
+			b.RunningMean.Data[ch] = float32((1-m)*float64(b.RunningMean.Data[ch]) + m*mean)
+			b.RunningVar.Data[ch] = float32((1-m)*float64(b.RunningVar.Data[ch]) + m*variance)
+		} else {
+			mean = float64(b.RunningMean.Data[ch])
+			variance = float64(b.RunningVar.Data[ch])
+		}
+		std := math.Sqrt(variance + b.Eps)
+		b.lastStd[ch] = float32(std)
+		g := b.Gamma.Data.Data[ch]
+		bt := b.Beta.Data.Data[ch]
+		invStd := float32(1 / std)
+		m32 := float32(mean)
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				xh := (x.Data[base+j] - m32) * invStd
+				b.lastXHat[base+j] = xh
+				out.Data[base+j] = g*xh + bt
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer (batch statistics path).
+func (b *BatchNorm2D) Backward(dout *Tensor) *Tensor {
+	n, c, h, w := b.inShape[0], b.inShape[1], b.inShape[2], b.inShape[3]
+	plane := h * w
+	count := float32(n * plane)
+	dx := NewTensor(b.inShape...)
+
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXh float32
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				dy := dout.Data[base+j]
+				sumDy += dy
+				sumDyXh += dy * b.lastXHat[base+j]
+			}
+		}
+		b.Beta.Grad.Data[ch] += sumDy
+		b.Gamma.Grad.Data[ch] += sumDyXh
+		g := b.Gamma.Data.Data[ch]
+		invStd := 1 / b.lastStd[ch]
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				dy := dout.Data[base+j]
+				xh := b.lastXHat[base+j]
+				dx.Data[base+j] = g * invStd / count * (count*dy - sumDy - xh*sumDyXh)
+			}
+		}
+	}
+	return dx
+}

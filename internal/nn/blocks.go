@@ -1,0 +1,207 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Parallel runs branches on the same input and concatenates their outputs
+// along the channel axis — the structure of a GoogLeNet inception module.
+// Every branch must preserve the spatial dimensions.
+type Parallel struct {
+	name     string
+	Branches []Layer
+	splits   []int // output channels per branch, recorded at forward
+	inShape  []int
+}
+
+// NewParallel builds a channel-concatenating branch block.
+func NewParallel(name string, branches ...Layer) *Parallel {
+	return &Parallel{name: name, Branches: branches}
+}
+
+// Name implements Layer.
+func (p *Parallel) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *Parallel) Params() []*Param {
+	var ps []*Param
+	for _, b := range p.Branches {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// OutputShape implements Layer.
+func (p *Parallel) OutputShape(in []int) ([]int, error) {
+	totalC := 0
+	var hw [2]int
+	for i, b := range p.Branches {
+		out, err := b.OutputShape(in)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != 3 {
+			return nil, fmt.Errorf("parallel branch %d output %v not CHW", i, out)
+		}
+		if i == 0 {
+			hw = [2]int{out[1], out[2]}
+		} else if out[1] != hw[0] || out[2] != hw[1] {
+			return nil, fmt.Errorf("parallel branch %d spatial %dx%d mismatches %dx%d", i, out[1], out[2], hw[0], hw[1])
+		}
+		totalC += out[0]
+	}
+	return []int{totalC, hw[0], hw[1]}, nil
+}
+
+// MACs implements Layer.
+func (p *Parallel) MACs(in []int) int64 {
+	var total int64
+	for _, b := range p.Branches {
+		total += b.MACs(in)
+	}
+	return total
+}
+
+// Forward implements Layer.
+func (p *Parallel) Forward(x *Tensor, train bool) *Tensor {
+	p.inShape = x.Shape
+	n := x.Dim(0)
+	outs := make([]*Tensor, len(p.Branches))
+	p.splits = p.splits[:0]
+	totalC, oh, ow := 0, 0, 0
+	for i, b := range p.Branches {
+		outs[i] = b.Forward(x, train)
+		p.splits = append(p.splits, outs[i].Dim(1))
+		totalC += outs[i].Dim(1)
+		oh, ow = outs[i].Dim(2), outs[i].Dim(3)
+	}
+	out := NewTensor(n, totalC, oh, ow)
+	plane := oh * ow
+	for s := 0; s < n; s++ {
+		off := 0
+		for i, o := range outs {
+			c := p.splits[i]
+			src := o.Data[s*c*plane : (s+1)*c*plane]
+			dst := out.Data[(s*totalC+off)*plane : (s*totalC+off+c)*plane]
+			copy(dst, src)
+			off += c
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *Parallel) Backward(dout *Tensor) *Tensor {
+	n := dout.Dim(0)
+	totalC, oh, ow := dout.Dim(1), dout.Dim(2), dout.Dim(3)
+	plane := oh * ow
+	dx := NewTensor(p.inShape...)
+	off := 0
+	for i, b := range p.Branches {
+		c := p.splits[i]
+		dslice := NewTensor(n, c, oh, ow)
+		for s := 0; s < n; s++ {
+			src := dout.Data[(s*totalC+off)*plane : (s*totalC+off+c)*plane]
+			copy(dslice.Data[s*c*plane:(s+1)*c*plane], src)
+		}
+		dxi := b.Backward(dslice)
+		dx.AddScaled(dxi, 1)
+		off += c
+	}
+	return dx
+}
+
+// Residual computes ReLU(body(x) + shortcut(x)) — a ResNet basic block.
+// A nil shortcut is the identity; downsampling blocks pass a 1×1
+// strided convolution.
+type Residual struct {
+	name     string
+	Body     Layer
+	Shortcut Layer // nil = identity
+	relu     *ReLU
+	lastIn   *Tensor
+}
+
+// NewResidual builds a residual block.
+func NewResidual(name string, body, shortcut Layer) *Residual {
+	return &Residual{name: name, Body: body, Shortcut: shortcut, relu: NewReLU(name + ".relu")}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := r.Body.Params()
+	if r.Shortcut != nil {
+		ps = append(ps, r.Shortcut.Params()...)
+	}
+	return ps
+}
+
+// OutputShape implements Layer.
+func (r *Residual) OutputShape(in []int) ([]int, error) {
+	bodyOut, err := r.Body.OutputShape(in)
+	if err != nil {
+		return nil, err
+	}
+	scOut := in
+	if r.Shortcut != nil {
+		scOut, err = r.Shortcut.OutputShape(in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(bodyOut) != len(scOut) {
+		return nil, fmt.Errorf("residual rank mismatch %v vs %v", bodyOut, scOut)
+	}
+	for i := range bodyOut {
+		if bodyOut[i] != scOut[i] {
+			return nil, fmt.Errorf("residual shape mismatch %v vs %v", bodyOut, scOut)
+		}
+	}
+	return bodyOut, nil
+}
+
+// MACs implements Layer.
+func (r *Residual) MACs(in []int) int64 {
+	total := r.Body.MACs(in)
+	if r.Shortcut != nil {
+		total += r.Shortcut.MACs(in)
+	}
+	return total
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *Tensor, train bool) *Tensor {
+	r.lastIn = x
+	sum := r.Body.Forward(x, train).Clone()
+	if r.Shortcut != nil {
+		sum.AddScaled(r.Shortcut.Forward(x, train), 1)
+	} else {
+		sum.AddScaled(x, 1)
+	}
+	return r.relu.Forward(sum, train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dout *Tensor) *Tensor {
+	dsum := r.relu.Backward(dout)
+	dx := r.Body.Backward(dsum)
+	if r.Shortcut != nil {
+		dx.AddScaled(r.Shortcut.Backward(dsum), 1)
+	} else {
+		dx.AddScaled(dsum, 1)
+	}
+	return dx
+}
+
+// ConvBNReLU is the ubiquitous conv → batch-norm → ReLU unit.
+func ConvBNReLU(name string, inC, outC, kernel, stride, pad int, rng *rand.Rand) Layer {
+	return NewSequential(name,
+		NewConv2D(name+".conv", inC, outC, kernel, stride, pad, rng),
+		NewBatchNorm2D(name+".bn", outC),
+		NewReLU(name+".relu"),
+	)
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// visitLayers walks a layer graph depth-first, recursing into the
+// composite layer types this package defines.
+func visitLayers(l Layer, fn func(Layer)) {
+	fn(l)
+	switch v := l.(type) {
+	case *Sequential:
+		for _, c := range v.Layers {
+			visitLayers(c, fn)
+		}
+	case *Parallel:
+		for _, b := range v.Branches {
+			visitLayers(b, fn)
+		}
+	case *Residual:
+		visitLayers(v.Body, fn)
+		if v.Shortcut != nil {
+			visitLayers(v.Shortcut, fn)
+		}
+	}
+}
+
+// state is the serialized form of a model's tensors.
+type state struct {
+	Shapes map[string][]int
+	Values map[string][]float32
+}
+
+// collectState gathers every named tensor: parameters plus batch-norm
+// running statistics.
+func collectState(net Layer) (*state, error) {
+	s := &state{Shapes: map[string][]int{}, Values: map[string][]float32{}}
+	var err error
+	add := func(name string, t *Tensor) {
+		if _, dup := s.Values[name]; dup && err == nil {
+			err = fmt.Errorf("nn: duplicate tensor name %q in checkpoint", name)
+		}
+		s.Shapes[name] = t.Shape
+		s.Values[name] = t.Data
+	}
+	// Composite layers re-expose children's params, so record only tensors
+	// owned directly by the leaf layer types.
+	visitLayers(net, func(l Layer) {
+		switch v := l.(type) {
+		case *Conv2D:
+			add(v.W.Name, v.W.Data)
+			add(v.B.Name, v.B.Data)
+		case *Dense:
+			add(v.W.Name, v.W.Data)
+			add(v.B.Name, v.B.Data)
+		case *BatchNorm2D:
+			add(v.Gamma.Name, v.Gamma.Data)
+			add(v.Beta.Name, v.Beta.Data)
+			add(v.name+".running_mean", v.RunningMean)
+			add(v.name+".running_var", v.RunningVar)
+		}
+	})
+	return s, err
+}
+
+// Save serializes all model tensors with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	s, err := collectState(m.Net)
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load restores tensors saved by Save into an identically constructed
+// model. Names and shapes must match exactly.
+func (m *Model) Load(r io.Reader) error {
+	var s state
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return err
+	}
+	cur, err := collectState(m.Net)
+	if err != nil {
+		return err
+	}
+	if len(cur.Values) != len(s.Values) {
+		return fmt.Errorf("nn: checkpoint has %d tensors, model has %d", len(s.Values), len(cur.Values))
+	}
+	for name, dst := range cur.Values {
+		src, ok := s.Values[name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing tensor %q", name)
+		}
+		if len(src) != len(dst) {
+			return fmt.Errorf("nn: tensor %q has %d values, model wants %d", name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv2D is a 2-D convolution (cross-correlation) with square kernels,
+// configurable stride and zero padding, implemented as im2col + GEMM.
+type Conv2D struct {
+	name           string
+	InC, OutC      int
+	Kernel, Stride int
+	Pad            int
+	W, B           *Param
+	lastX          *Tensor
+	lastCols       []float32 // im2col buffer for the whole batch
+	lastOH, lastOW int
+}
+
+// NewConv2D constructs a convolution with He-normal weight init.
+func NewConv2D(name string, inC, outC, kernel, stride, pad int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		name: name, InC: inC, OutC: outC,
+		Kernel: kernel, Stride: stride, Pad: pad,
+		W: newParam(name+".W", outC, inC, kernel, kernel),
+		B: newParam(name+".B", outC),
+	}
+	fanIn := float64(inC * kernel * kernel)
+	c.W.Data.FillNormal(rng, math.Sqrt(2/fanIn))
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutputShape implements Layer.
+func (c *Conv2D) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("conv expects CHW input, got %v", in)
+	}
+	if in[0] != c.InC {
+		return nil, fmt.Errorf("conv expects %d channels, got %d", c.InC, in[0])
+	}
+	oh := (in[1]+2*c.Pad-c.Kernel)/c.Stride + 1
+	ow := (in[2]+2*c.Pad-c.Kernel)/c.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("conv output %dx%d non-positive", oh, ow)
+	}
+	return []int{c.OutC, oh, ow}, nil
+}
+
+// MACs implements Layer.
+func (c *Conv2D) MACs(in []int) int64 {
+	out, err := c.OutputShape(in)
+	if err != nil {
+		return 0
+	}
+	return int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(c.InC*c.Kernel*c.Kernel)
+}
+
+// im2col unrolls input patches into a [inC*K*K, OH*OW] matrix for one
+// sample, writing into cols.
+func (c *Conv2D) im2col(x []float32, h, w, oh, ow int, cols []float32) {
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	colW := oh * ow
+	for ch := 0; ch < c.InC; ch++ {
+		plane := x[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := cols[((ch*k+ky)*k+kx)*colW:]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*s + ky - p
+					if sy < 0 || sy >= h {
+						for ox := 0; ox < ow; ox++ {
+							row[idx] = 0
+							idx++
+						}
+						continue
+					}
+					base := sy * w
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*s + kx - p
+						if sx < 0 || sx >= w {
+							row[idx] = 0
+						} else {
+							row[idx] = plane[base+sx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters gradient columns back to input layout, accumulating
+// where patches overlap.
+func (c *Conv2D) col2im(cols []float32, h, w, oh, ow int, dx []float32) {
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	colW := oh * ow
+	for ch := 0; ch < c.InC; ch++ {
+		plane := dx[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := cols[((ch*k+ky)*k+kx)*colW:]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*s + ky - p
+					if sy < 0 || sy >= h {
+						idx += ow
+						continue
+					}
+					base := sy * w
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*s + kx - p
+						if sx >= 0 && sx < w {
+							plane[base+sx] += row[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
+	n, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if ch != c.InC {
+		panic(fmt.Sprintf("%s: input has %d channels, want %d", c.name, ch, c.InC))
+	}
+	oh := (h+2*c.Pad-c.Kernel)/c.Stride + 1
+	ow := (w+2*c.Pad-c.Kernel)/c.Stride + 1
+	ckk := c.InC * c.Kernel * c.Kernel
+	colW := oh * ow
+
+	out := NewTensor(n, c.OutC, oh, ow)
+	if cap(c.lastCols) < n*ckk*colW {
+		c.lastCols = make([]float32, n*ckk*colW)
+	}
+	c.lastCols = c.lastCols[:n*ckk*colW]
+	c.lastX = x
+	c.lastOH, c.lastOW = oh, ow
+
+	for i := 0; i < n; i++ {
+		cols := c.lastCols[i*ckk*colW : (i+1)*ckk*colW]
+		c.im2col(x.Data[i*ch*h*w:(i+1)*ch*h*w], h, w, oh, ow, cols)
+		dst := out.Data[i*c.OutC*colW : (i+1)*c.OutC*colW]
+		gemm(c.W.Data.Data, cols, dst, c.OutC, ckk, colW)
+		// Bias per output channel.
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.B.Data.Data[oc]
+			row := dst[oc*colW : (oc+1)*colW]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *Tensor) *Tensor {
+	x := c.lastX
+	n, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := c.lastOH, c.lastOW
+	ckk := c.InC * c.Kernel * c.Kernel
+	colW := oh * ow
+
+	dx := NewTensor(n, ch, h, w)
+	dcols := make([]float32, ckk*colW)
+	for i := 0; i < n; i++ {
+		dy := dout.Data[i*c.OutC*colW : (i+1)*c.OutC*colW]
+		cols := c.lastCols[i*ckk*colW : (i+1)*ckk*colW]
+		// dW += dY · colsᵀ  (OutC×colW · colW×ckk)
+		gemmNT(dy, cols, c.W.Grad.Data, c.OutC, colW, ckk)
+		// dB += row sums of dY.
+		for oc := 0; oc < c.OutC; oc++ {
+			var s float32
+			row := dy[oc*colW : (oc+1)*colW]
+			for _, v := range row {
+				s += v
+			}
+			c.B.Grad.Data[oc] += s
+		}
+		// dcols = Wᵀ · dY  (ckk×OutC · OutC×colW)
+		for j := range dcols {
+			dcols[j] = 0
+		}
+		gemmTN(c.W.Data.Data, dy, dcols, ckk, c.OutC, colW)
+		c.col2im(dcols, h, w, oh, ow, dx.Data[i*ch*h*w:(i+1)*ch*h*w])
+	}
+	return dx
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmParallelThreshold is the FLOP count above which matrix products are
+// split across goroutines. Small products are faster single-threaded.
+const gemmParallelThreshold = 1 << 18
+
+// gemm computes C += A·B with A [m×k], B [k×n], C [m×n], all row-major.
+func gemm(a, b, c []float32, m, k, n int) {
+	parallelRows(m, 2*m*k*n, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n : i*n+n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : p*n+n]
+				for j := range crow {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+}
+
+// gemmTN computes C += Aᵀ·B with A [k×m], B [k×n], C [m×n].
+func gemmTN(a, b, c []float32, m, k, n int) {
+	parallelRows(m, 2*m*k*n, func(i0, i1 int) {
+		for p := 0; p < k; p++ {
+			arow := a[p*m : p*m+m]
+			brow := b[p*n : p*n+n]
+			for i := i0; i < i1; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c[i*n : i*n+n]
+				for j := range crow {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+}
+
+// gemmNT computes C += A·Bᵀ with A [m×k], B [n×k], C [m×n].
+func gemmNT(a, b, c []float32, m, k, n int) {
+	parallelRows(m, 2*m*k*n, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : j*k+k]
+				var s float32
+				for p := range arow {
+					s += arow[p] * brow[p]
+				}
+				crow[j] += s
+			}
+		}
+	})
+}
+
+// parallelRows splits the row range [0, m) across workers when the job is
+// large enough. The fixed partition keeps results deterministic.
+func parallelRows(m, flops int, fn func(i0, i1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if flops < gemmParallelThreshold || workers < 2 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := min(i0+chunk, m)
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i0, i1)
+		}()
+	}
+	wg.Wait()
+}

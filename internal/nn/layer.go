@@ -1,0 +1,91 @@
+package nn
+
+import "fmt"
+
+// Layer is one differentiable stage of a network. Forward must be called
+// before Backward for each step; layers cache whatever activations their
+// backward pass needs.
+type Layer interface {
+	// Name identifies the layer in diagnostics and checkpoints.
+	Name() string
+	// Forward computes the layer output. train enables training-only
+	// behavior (batch-norm batch statistics).
+	Forward(x *Tensor, train bool) *Tensor
+	// Backward consumes dL/dout and returns dL/din, accumulating parameter
+	// gradients.
+	Backward(dout *Tensor) *Tensor
+	// Params returns the trainable parameters (nil for stateless layers).
+	Params() []*Param
+	// OutputShape maps an input shape (without batch dimension) to the
+	// output shape.
+	OutputShape(in []int) ([]int, error)
+	// MACs counts multiply-accumulates per sample for the given input
+	// shape (without batch dimension), the metric the paper uses to
+	// compare model compute (724M for AlexNet vs 1.43G for GoogLeNet).
+	MACs(in []int) int64
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	name   string
+	Layers []Layer
+}
+
+// NewSequential builds a named layer chain.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, Layers: layers}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *Tensor, train bool) *Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(dout *Tensor) *Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutputShape implements Layer.
+func (s *Sequential) OutputShape(in []int) ([]int, error) {
+	var err error
+	for _, l := range s.Layers {
+		in, err = l.OutputShape(in)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", l.Name(), err)
+		}
+	}
+	return in, nil
+}
+
+// MACs implements Layer.
+func (s *Sequential) MACs(in []int) int64 {
+	var total int64
+	for _, l := range s.Layers {
+		total += l.MACs(in)
+		out, err := l.OutputShape(in)
+		if err != nil {
+			return total
+		}
+		in = out
+	}
+	return total
+}

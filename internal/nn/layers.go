@@ -1,0 +1,329 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU returns a named rectifier.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (r *ReLU) OutputShape(in []int) ([]int, error) { return in, nil }
+
+// MACs implements Layer.
+func (r *ReLU) MACs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
+	out := NewTensor(x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dout *Tensor) *Tensor {
+	dx := NewTensor(dout.Shape...)
+	for i, m := range r.mask {
+		if m {
+			dx.Data[i] = dout.Data[i]
+		}
+	}
+	return dx
+}
+
+// MaxPool2 is a 2×2 max pool with stride 2 (floor semantics for odd
+// inputs).
+type MaxPool2 struct {
+	name    string
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2 returns a named 2×2 max-pooling layer.
+func NewMaxPool2(name string) *MaxPool2 { return &MaxPool2{name: name} }
+
+// Name implements Layer.
+func (p *MaxPool2) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (p *MaxPool2) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("maxpool expects CHW, got %v", in)
+	}
+	if in[1] < 2 || in[2] < 2 {
+		return nil, fmt.Errorf("maxpool input %dx%d too small", in[1], in[2])
+	}
+	return []int{in[0], in[1] / 2, in[2] / 2}, nil
+}
+
+// MACs implements Layer.
+func (p *MaxPool2) MACs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (p *MaxPool2) Forward(x *Tensor, train bool) *Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/2, w/2
+	out := NewTensor(n, c, oh, ow)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	p.inShape = x.Shape
+	oi := 0
+	for i := 0; i < n*c; i++ {
+		plane := x.Data[i*h*w : (i+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				base := (2*oy)*w + 2*ox
+				best, bi := plane[base], base
+				if v := plane[base+1]; v > best {
+					best, bi = v, base+1
+				}
+				if v := plane[base+w]; v > best {
+					best, bi = v, base+w
+				}
+				if v := plane[base+w+1]; v > best {
+					best, bi = v, base+w+1
+				}
+				out.Data[oi] = best
+				p.argmax[oi] = i*h*w + bi
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2) Backward(dout *Tensor) *Tensor {
+	dx := NewTensor(p.inShape...)
+	for oi, src := range p.argmax {
+		dx.Data[src] += dout.Data[oi]
+	}
+	return dx
+}
+
+// GlobalAvgPool reduces each channel plane to its mean: NCHW → NC.
+type GlobalAvgPool struct {
+	name    string
+	inShape []int
+}
+
+// NewGlobalAvgPool returns a named global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Name implements Layer.
+func (p *GlobalAvgPool) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (p *GlobalAvgPool) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("gap expects CHW, got %v", in)
+	}
+	return []int{in[0]}, nil
+}
+
+// MACs implements Layer.
+func (p *GlobalAvgPool) MACs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *Tensor, train bool) *Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p.inShape = x.Shape
+	out := NewTensor(n, c)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n*c; i++ {
+		var s float32
+		for _, v := range x.Data[i*h*w : (i+1)*h*w] {
+			s += v
+		}
+		out.Data[i] = s * inv
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(dout *Tensor) *Tensor {
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	dx := NewTensor(n, c, h, w)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n*c; i++ {
+		g := dout.Data[i] * inv
+		plane := dx.Data[i*h*w : (i+1)*h*w]
+		for j := range plane {
+			plane[j] = g
+		}
+	}
+	return dx
+}
+
+// Dense is a fully connected layer. Inputs with more than two dimensions
+// are flattened after the batch axis.
+type Dense struct {
+	name    string
+	In, Out int
+	W, B    *Param
+	lastX   *Tensor // flattened input [N, In]
+	inShape []int
+}
+
+// NewDense constructs a fully connected layer with He-normal init.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		name: name, In: in, Out: out,
+		W: newParam(name+".W", in, out),
+		B: newParam(name+".B", out),
+	}
+	d.W.Data.FillNormal(rng, math.Sqrt(2/float64(in)))
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutputShape implements Layer.
+func (d *Dense) OutputShape(in []int) ([]int, error) {
+	n := 1
+	for _, s := range in {
+		n *= s
+	}
+	if n != d.In {
+		return nil, fmt.Errorf("dense expects %d features, got %v (%d)", d.In, in, n)
+	}
+	return []int{d.Out}, nil
+}
+
+// MACs implements Layer.
+func (d *Dense) MACs(in []int) int64 { return int64(d.In) * int64(d.Out) }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
+	n := x.Dim(0)
+	feat := x.Len() / n
+	if feat != d.In {
+		panic(fmt.Sprintf("%s: input has %d features, want %d", d.name, feat, d.In))
+	}
+	d.inShape = x.Shape
+	flat := x.Reshape(n, feat)
+	d.lastX = flat
+	out := NewTensor(n, d.Out)
+	gemm(flat.Data, d.W.Data.Data, out.Data, n, d.In, d.Out)
+	for i := 0; i < n; i++ {
+		row := out.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += d.B.Data.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *Tensor) *Tensor {
+	n := dout.Dim(0)
+	// dW += Xᵀ·dY ; dB += column sums; dX = dY·Wᵀ.
+	gemmTN(d.lastX.Data, dout.Data, d.W.Grad.Data, d.In, n, d.Out)
+	for i := 0; i < n; i++ {
+		row := dout.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			d.B.Grad.Data[j] += row[j]
+		}
+	}
+	dx := NewTensor(n, d.In)
+	gemmNT(dout.Data, d.W.Data.Data, dx.Data, n, d.Out, d.In)
+	return dx.Reshape(d.inShape...)
+}
+
+// Dropout zeroes activations with probability P during training and
+// scales the survivors by 1/(1−P) (inverted dropout).
+type Dropout struct {
+	name string
+	P    float64
+	rng  *rand.Rand
+	mask []float32
+}
+
+// NewDropout builds a dropout layer with its own deterministic stream.
+func NewDropout(name string, p float64, seed int64) *Dropout {
+	return &Dropout{name: name, P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (d *Dropout) OutputShape(in []int) ([]int, error) { return in, nil }
+
+// MACs implements Layer.
+func (d *Dropout) MACs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
+	if !train || d.P <= 0 {
+		d.mask = d.mask[:0]
+		return x
+	}
+	out := NewTensor(x.Shape...)
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float32, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *Tensor) *Tensor {
+	if len(d.mask) == 0 {
+		return dout
+	}
+	dx := NewTensor(dout.Shape...)
+	for i := range dout.Data {
+		dx.Data[i] = dout.Data[i] * d.mask[i]
+	}
+	return dx
+}

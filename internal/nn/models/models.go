@@ -1,0 +1,240 @@
+// Package models provides the miniature model zoo used to reproduce the
+// paper's evaluation: topology-faithful, CPU-trainable versions of the
+// four DNN families evaluated in Fig. 8 (AlexNet, VGG, GoogLeNet with
+// inception modules, ResNet with residual blocks), plus a small plain CNN
+// for fast parameter sweeps. All models take NCHW inputs with power-of-two
+// spatial size (default 32×32) and expose MAC counts for the energy model.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// Config describes the input tensor and class count for a model.
+type Config struct {
+	Channels int // input channels (1 = grayscale, 3 = RGB)
+	Size     int // square input size in pixels; must be divisible by 8
+	Classes  int
+	Seed     int64
+}
+
+// validate rejects shapes the fixed topologies cannot map.
+func (c Config) validate() error {
+	if c.Channels != 1 && c.Channels != 3 {
+		return fmt.Errorf("models: channels must be 1 or 3, got %d", c.Channels)
+	}
+	if c.Size < 8 || c.Size%8 != 0 {
+		return fmt.Errorf("models: size must be a positive multiple of 8, got %d", c.Size)
+	}
+	if c.Classes < 2 {
+		return fmt.Errorf("models: need at least 2 classes, got %d", c.Classes)
+	}
+	return nil
+}
+
+// Builder constructs a fresh model for a config.
+type Builder func(Config) (*nn.Model, error)
+
+// registry maps model names to builders.
+var registry = map[string]Builder{
+	"minicnn":        NewMiniCNN,
+	"mini-alexnet":   NewMiniAlexNet,
+	"mini-vgg":       NewMiniVGG,
+	"mini-googlenet": NewMiniGoogLeNet,
+	"mini-resnet10":  NewMiniResNet10,
+	"mini-resnet18":  NewMiniResNet18,
+}
+
+// Names lists available models in sorted order.
+func Names() []string {
+	var names []string
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs a model by name.
+func Build(name string, cfg Config) (*nn.Model, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return b(cfg)
+}
+
+// NewMiniCNN is a small plain CNN (conv-pool ×2 + classifier) used where
+// the paper sweeps many configurations and per-run training cost matters
+// (Figs. 2, 5, 6, 7).
+func NewMiniCNN(cfg Config) (*nn.Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := cfg.Size / 4
+	net := nn.NewSequential("minicnn",
+		nn.NewConv2D("c1", cfg.Channels, 12, 3, 1, 1, rng),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool2("p1"),
+		nn.NewConv2D("c2", 12, 24, 3, 1, 1, rng),
+		nn.NewReLU("r2"),
+		nn.NewMaxPool2("p2"),
+		nn.NewDense("fc", 24*s*s, cfg.Classes, rng),
+	)
+	return nn.NewModel(net), nil
+}
+
+// NewMiniAlexNet mirrors AlexNet's shape: large early kernels, three conv
+// stages, and a wide fully connected head with dropout.
+func NewMiniAlexNet(cfg Config) (*nn.Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := cfg.Size / 4
+	net := nn.NewSequential("mini-alexnet",
+		nn.NewConv2D("c1", cfg.Channels, 16, 5, 1, 2, rng),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool2("p1"),
+		nn.NewConv2D("c2", 16, 32, 5, 1, 2, rng),
+		nn.NewReLU("r2"),
+		nn.NewMaxPool2("p2"),
+		nn.NewConv2D("c3", 32, 48, 3, 1, 1, rng),
+		nn.NewReLU("r3"),
+		nn.NewDense("fc1", 48*s*s, 96, rng),
+		nn.NewReLU("r4"),
+		nn.NewDropout("drop", 0.3, cfg.Seed+1),
+		nn.NewDense("fc2", 96, cfg.Classes, rng),
+	)
+	return nn.NewModel(net), nil
+}
+
+// NewMiniVGG mirrors VGG-16's pattern of stacked 3×3 convolutions with
+// batch norm between pooling stages.
+func NewMiniVGG(cfg Config) (*nn.Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := cfg.Size / 4
+	net := nn.NewSequential("mini-vgg",
+		nn.ConvBNReLU("b1a", cfg.Channels, 16, 3, 1, 1, rng),
+		nn.ConvBNReLU("b1b", 16, 16, 3, 1, 1, rng),
+		nn.NewMaxPool2("p1"),
+		nn.ConvBNReLU("b2a", 16, 32, 3, 1, 1, rng),
+		nn.ConvBNReLU("b2b", 32, 32, 3, 1, 1, rng),
+		nn.NewMaxPool2("p2"),
+		nn.NewDense("fc1", 32*s*s, 128, rng),
+		nn.NewReLU("rf"),
+		nn.NewDense("fc2", 128, cfg.Classes, rng),
+	)
+	return nn.NewModel(net), nil
+}
+
+// inception builds a three-branch module (1×1, 1×1→3×3, 1×1→5×5) whose
+// outputs concatenate on the channel axis, the core GoogLeNet structure.
+func inception(name string, inC, c1, c3reduce, c3, c5reduce, c5 int, rng *rand.Rand) nn.Layer {
+	return nn.NewParallel(name,
+		nn.ConvBNReLU(name+".b1", inC, c1, 1, 1, 0, rng),
+		nn.NewSequential(name+".b3",
+			nn.ConvBNReLU(name+".b3r", inC, c3reduce, 1, 1, 0, rng),
+			nn.ConvBNReLU(name+".b3c", c3reduce, c3, 3, 1, 1, rng),
+		),
+		nn.NewSequential(name+".b5",
+			nn.ConvBNReLU(name+".b5r", inC, c5reduce, 1, 1, 0, rng),
+			nn.ConvBNReLU(name+".b5c", c5reduce, c5, 5, 1, 2, rng),
+		),
+	)
+}
+
+// NewMiniGoogLeNet mirrors GoogLeNet: a convolutional stem, two stacked
+// inception modules and a global-average-pooled linear classifier.
+func NewMiniGoogLeNet(cfg Config) (*nn.Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := nn.NewSequential("mini-googlenet",
+		nn.ConvBNReLU("stem", cfg.Channels, 16, 3, 1, 1, rng),
+		nn.NewMaxPool2("p1"),
+		inception("inc1", 16, 8, 8, 16, 4, 8, rng), // out 32
+		nn.NewMaxPool2("p2"),
+		inception("inc2", 32, 16, 16, 32, 8, 16, rng), // out 64
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewDense("fc", 64, cfg.Classes, rng),
+	)
+	return nn.NewModel(net), nil
+}
+
+// basicBlock is a ResNet basic block: two 3×3 conv+BN with an identity or
+// projection shortcut.
+func basicBlock(name string, inC, outC, stride int, rng *rand.Rand) nn.Layer {
+	body := nn.NewSequential(name+".body",
+		nn.NewConv2D(name+".c1", inC, outC, 3, stride, 1, rng),
+		nn.NewBatchNorm2D(name+".bn1", outC),
+		nn.NewReLU(name+".r1"),
+		nn.NewConv2D(name+".c2", outC, outC, 3, 1, 1, rng),
+		nn.NewBatchNorm2D(name+".bn2", outC),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || inC != outC {
+		shortcut = nn.NewSequential(name+".sc",
+			nn.NewConv2D(name+".scc", inC, outC, 1, stride, 0, rng),
+			nn.NewBatchNorm2D(name+".scbn", outC),
+		)
+	}
+	return nn.NewResidual(name, body, shortcut)
+}
+
+// newMiniResNet builds a three-stage residual network with the given
+// blocks per stage (1 → ResNet-10-like, 2 → ResNet-18-like).
+func newMiniResNet(name string, blocksPerStage int, cfg Config) (*nn.Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	layers := []nn.Layer{
+		nn.ConvBNReLU("stem", cfg.Channels, 16, 3, 1, 1, rng),
+	}
+	widths := []int{16, 32, 64}
+	inC := 16
+	for stage, w := range widths {
+		for b := 0; b < blocksPerStage; b++ {
+			stride := 1
+			if b == 0 && stage > 0 {
+				stride = 2
+			}
+			layers = append(layers, basicBlock(fmt.Sprintf("s%db%d", stage+1, b+1), inC, w, stride, rng))
+			inC = w
+		}
+	}
+	layers = append(layers,
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewDense("fc", 64, cfg.Classes, rng),
+	)
+	return nn.NewModel(nn.NewSequential(name, layers...)), nil
+}
+
+// NewMiniResNet10 builds the one-block-per-stage residual network.
+func NewMiniResNet10(cfg Config) (*nn.Model, error) {
+	return newMiniResNet("mini-resnet10", 1, cfg)
+}
+
+// NewMiniResNet18 builds the two-blocks-per-stage residual network.
+func NewMiniResNet18(cfg Config) (*nn.Model, error) {
+	return newMiniResNet("mini-resnet18", 2, cfg)
+}
+
+// ParamCount sums the trainable parameter elements of a model.
+func ParamCount(m *nn.Model) int64 {
+	var total int64
+	for _, p := range m.Net.Params() {
+		total += int64(p.Data.Len())
+	}
+	return total
+}
