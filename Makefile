@@ -1,0 +1,26 @@
+# Developer entry points for the DeepN-JPEG reproduction.
+#
+#   make check   # vet + build + full test suite under the race detector
+#   make test    # plain test run (what tier-1 verification executes)
+#   make bench   # codec/pipeline benchmarks with allocation reporting
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench 'EncodeBatch|DecodeBatch|CalibrateParallel|DeepNEncodeThroughput' -benchmem ./

@@ -14,6 +14,9 @@ package deepnjpeg
 
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -361,6 +364,109 @@ func BenchmarkAblationAnnealingVsPLM(b *testing.B) {
 	b.ReportMetric(res.Cost, "annealed-cost")
 	b.ReportMetric(obj.Cost(fw.LumaTable), "plm-cost")
 	b.ReportMetric(float64(res.Evaluations), "evaluations")
+}
+
+// BenchmarkEncodeBatch compares the one-image-at-a-time loop against the
+// worker-pool batch API on the same calibrated codec and image set. On
+// ≥4-core hardware the GOMAXPROCS variant should beat sequential by
+// roughly the core count, since every worker draws its own pooled
+// scratch and never contends.
+func BenchmarkEncodeBatch(b *testing.B) {
+	ds := ablationData(b)
+	codec, err := Calibrate(ds.Images, ds.Labels, CalibrateConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Replicate the corpus so a batch outweighs the pool's spin-up cost.
+	var batch []*Image
+	for len(batch) < 256 {
+		batch = append(batch, ds.Images[len(batch)%len(ds.Images)])
+	}
+	var rawBytes int64
+	for _, im := range batch {
+		rawBytes += int64(len(im.Pix))
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(rawBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, im := range batch {
+				if _, err := codec.Encode(im); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.SetBytes(rawBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.EncodeBatch(context.Background(), batch, BatchOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeBatch measures the decode side of the pipeline at
+// GOMAXPROCS against the sequential loop.
+func BenchmarkDecodeBatch(b *testing.B) {
+	ds := ablationData(b)
+	codec, err := Calibrate(ds.Images, ds.Labels, CalibrateConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batch []*Image
+	for len(batch) < 128 {
+		batch = append(batch, ds.Images[len(batch)%len(ds.Images)])
+	}
+	streams, err := codec.EncodeBatch(context.Background(), batch, BatchOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range streams {
+				if _, err := Decode(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("workers-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeBatch(context.Background(), streams, BatchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCalibrateParallel compares the single-threaded statistics
+// pass against the per-worker partial accumulators (identical output by
+// TestParallelCalibrateMatchesSequential).
+func BenchmarkCalibrateParallel(b *testing.B) {
+	cfg := dataset.Quick()
+	cfg.TrainPerClass, cfg.TestPerClass = 64, 1
+	ds, _, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Calibrate(ds, core.CalibrateOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCalibration measures the cost of the full design flow itself

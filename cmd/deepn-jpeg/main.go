@@ -1,29 +1,38 @@
 // Command deepn-jpeg is the CLI front end of the DeepN-JPEG codec:
 //
-//	deepn-jpeg calibrate  -classes 8 -per-class 40 [-chroma]        # print calibrated tables
+//	deepn-jpeg calibrate  -classes 8 -per-class 40 [-chroma] [-workers N]  # print calibrated tables
 //	deepn-jpeg encode     -in img.(ppm|pgm|png|jpg) -out out.jpg
 //	                      [-qf 85 | -deepn] [-subsampling 420|444] [-optimize]
+//	deepn-jpeg encode     -in dir/ -out dir/ [-workers N] ...       # batch-encode a directory
 //	deepn-jpeg decode     -in img.jpg -out out.(ppm|pgm|png)
 //	deepn-jpeg inspect    -in img.jpg                               # tables + metadata
 //
 // Calibration runs on the built-in SynthNet generator so the tool works
 // without external data; encode -deepn calibrates on the fly the same way.
+// When -in names a directory, encode compresses every supported image in
+// it onto -out (a directory) through the concurrent batch pipeline;
+// -workers sizes the pool (0 = GOMAXPROCS).
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"image/png"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	deepnjpeg "repro"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/imgutil"
 	"repro/internal/jpegcodec"
+	"repro/internal/pipeline"
 	"repro/internal/qtable"
 )
 
@@ -122,6 +131,7 @@ func runCalibrate(args []string) error {
 	size := fs.Int("size", 32, "image size")
 	seed := fs.Int64("seed", 1, "generator seed")
 	chroma := fs.Bool("chroma", false, "also calibrate a chroma table")
+	workers := fs.Int("workers", 1, "statistics-pass worker count (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,7 +140,7 @@ func runCalibrate(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := core.Calibrate(train, core.CalibrateOptions{Chroma: *chroma})
+	fw, err := core.Calibrate(train, core.CalibrateOptions{Chroma: *chroma, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -202,17 +212,15 @@ func runEncode(args []string) error {
 	deepn := fs.Bool("deepn", false, "use a DeepN-JPEG table calibrated on SynthNet")
 	sub := fs.String("subsampling", "420", "chroma subsampling: 420 or 444")
 	optimize := fs.Bool("optimize", false, "optimized Huffman tables")
+	workers := fs.Int("workers", 0, "worker-pool size for directory encoding (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("encode needs -in and -out")
 	}
-	img, err := loadImage(*in)
-	if err != nil {
-		return err
-	}
 	opts := jpegcodec.Options{OptimizeHuffman: *optimize}
+	var err error
 	switch *sub {
 	case "420":
 		opts.Subsampling = jpegcodec.Sub420
@@ -241,6 +249,13 @@ func runEncode(args []string) error {
 			return err
 		}
 	}
+	if st, err := os.Stat(*in); err == nil && st.IsDir() {
+		return encodeDir(*in, *out, *workers, opts)
+	}
+	img, err := loadImage(*in)
+	if err != nil {
+		return err
+	}
 	var buf bytes.Buffer
 	if err := jpegcodec.EncodeRGB(&buf, img, &opts); err != nil {
 		return err
@@ -259,6 +274,73 @@ func runEncode(args []string) error {
 	fmt.Printf("%s: %dx%d → %d bytes (%.2f bpp), PSNR %.2f dB\n",
 		*out, img.W, img.H, buf.Len(), 8*float64(buf.Len())/float64(img.W*img.H), psnr)
 	return nil
+}
+
+// encodeDir batch-encodes every supported image in inDir onto outDir
+// through the concurrent pipeline. Output files keep their base name
+// with a .jpg extension; failures are reported per item at the end
+// without aborting the rest of the batch.
+func encodeDir(inDir, outDir string, workers int, opts jpegcodec.Options) error {
+	entries, err := os.ReadDir(inDir)
+	if err != nil {
+		return err
+	}
+	var inputs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".ppm", ".pgm", ".png", ".jpg", ".jpeg":
+			inputs = append(inputs, e.Name())
+		}
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("no encodable images (ppm/pgm/png/jpg) in %s", inDir)
+	}
+	sort.Strings(inputs)
+	// Distinct inputs must map to distinct outputs: a collision would make
+	// one worker's output clobber another's (or, when -in and -out are the
+	// same directory, overwrite an input another worker has yet to read).
+	outNames := make(map[string]string, len(inputs))
+	for _, in := range inputs {
+		name := strings.TrimSuffix(in, filepath.Ext(in)) + ".jpg"
+		if prev, dup := outNames[name]; dup {
+			return fmt.Errorf("inputs %s and %s both map to output %s", prev, in, name)
+		}
+		outNames[name] = in
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var inBytes, outBytes, okCount atomic.Int64
+	start := time.Now()
+	err = pipeline.Run(context.Background(), len(inputs), workers, func(_ context.Context, i int) error {
+		img, err := loadImage(filepath.Join(inDir, inputs[i]))
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		o := opts
+		if err := jpegcodec.EncodeRGB(&buf, img, &o); err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(inputs[i], filepath.Ext(inputs[i])) + ".jpg"
+		if err := os.WriteFile(filepath.Join(outDir, name), buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		inBytes.Add(int64(3 * img.W * img.H))
+		outBytes.Add(int64(buf.Len()))
+		okCount.Add(1)
+		return nil
+	})
+	elapsed := time.Since(start)
+	ok := okCount.Load()
+	fmt.Printf("%s: encoded %d/%d images from %s (workers=%d) in %v (%.1f MB raw → %.1f MB jpeg, %.1f images/s)\n",
+		outDir, ok, len(inputs), inDir, pipeline.Workers(workers, len(inputs)), elapsed.Round(time.Millisecond),
+		float64(inBytes.Load())/1e6, float64(outBytes.Load())/1e6,
+		float64(ok)/elapsed.Seconds())
+	return err
 }
 
 func runDecode(args []string) error {

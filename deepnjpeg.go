@@ -15,16 +15,38 @@
 //
 // The emitted streams are standard baseline JFIF: any JPEG decoder
 // (including Go's image/jpeg) reads them.
+//
+// # Batch throughput
+//
+// The paper motivates DeepN-JPEG with the image volume of IoT and
+// data-center DNN systems, where the codec is an inner-loop primitive
+// invoked millions of times. For that regime the package offers a
+// concurrent batch API — Codec.EncodeBatch, Codec.EncodeGrayBatch and
+// DecodeBatch — that fans items across a worker pool with
+// order-preserving results, per-item error collection and context
+// cancellation:
+//
+//	streams, err := codec.EncodeBatch(ctx, imgs, deepnjpeg.BatchOptions{})
+//	imgs2, err := deepnjpeg.DecodeBatch(ctx, streams, deepnjpeg.BatchOptions{})
+//
+// A Codec is safe for concurrent use: the hot path draws its scratch
+// (color planes, coefficient grids, entropy buffers) from sync.Pools, so
+// steady-state encodes allocate little and workers never contend on
+// shared mutable state. Calibration itself can likewise fan the
+// frequency-statistics pass across workers via CalibrateConfig.Workers,
+// with results independent of goroutine scheduling.
 package deepnjpeg
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/imgutil"
 	"repro/internal/jpegcodec"
+	"repro/internal/pipeline"
 	"repro/internal/plm"
 	"repro/internal/qtable"
 )
@@ -56,6 +78,13 @@ type CalibrateConfig struct {
 	// UsePaperParams applies the published ImageNet PLM constants instead
 	// of fitting to this dataset.
 	UsePaperParams bool
+	// Workers fans the frequency-statistics accumulation across a worker
+	// pool; ≤ 1 keeps the single-threaded path. A given worker count is
+	// deterministic regardless of goroutine scheduling; across different
+	// worker counts the merged statistics agree with the sequential pass
+	// up to floating-point rounding, which the test suite checks yields
+	// identical quantization tables.
+	Workers int
 }
 
 // Codec is a calibrated DeepN-JPEG encoder/decoder.
@@ -79,6 +108,7 @@ func Calibrate(images []*Image, labels []int, cfg CalibrateConfig) (*Codec, erro
 		SampleEvery:    cfg.SampleEvery,
 		Chroma:         cfg.Chroma,
 		UsePaperParams: cfg.UsePaperParams,
+		Workers:        cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -108,6 +138,52 @@ func (c *Codec) Encode(img *Image) ([]byte, error) {
 // EncodeGray compresses a grayscale image with the calibrated luma table.
 func (c *Codec) EncodeGray(img *Gray) ([]byte, error) {
 	return c.fw.Scheme().EncodeGray(img)
+}
+
+// BatchOptions configures the concurrent batch API.
+type BatchOptions struct {
+	// Workers is the worker-pool size; ≤ 0 selects runtime.GOMAXPROCS.
+	// The pool never exceeds the number of items.
+	Workers int
+}
+
+// BatchError aggregates the per-item failures of a batch call. Use
+// errors.As to recover it from a batch API error and inspect which
+// indices failed; all other items completed normally.
+type BatchError = pipeline.BatchError
+
+// ItemError is one entry of a BatchError.
+type ItemError = pipeline.ItemError
+
+// EncodeBatch compresses a batch of color images concurrently with the
+// calibrated tables. streams[i] corresponds to imgs[i] regardless of
+// scheduling. Items that fail leave a nil entry and are reported through
+// a *BatchError; canceling ctx stops unstarted items and the returned
+// error then matches ctx.Err. The Codec is safe for concurrent use, so
+// one Codec can serve many in-flight batches.
+func (c *Codec) EncodeBatch(ctx context.Context, imgs []*Image, opts BatchOptions) ([][]byte, error) {
+	scheme := c.fw.Scheme()
+	return pipeline.Map(ctx, len(imgs), opts.Workers, func(_ context.Context, i int) ([]byte, error) {
+		return scheme.EncodeRGB(imgs[i])
+	})
+}
+
+// EncodeGrayBatch compresses a batch of grayscale images concurrently
+// with the calibrated luma table, under the same contract as EncodeBatch.
+func (c *Codec) EncodeGrayBatch(ctx context.Context, imgs []*Gray, opts BatchOptions) ([][]byte, error) {
+	scheme := c.fw.Scheme()
+	return pipeline.Map(ctx, len(imgs), opts.Workers, func(_ context.Context, i int) ([]byte, error) {
+		return scheme.EncodeGray(imgs[i])
+	})
+}
+
+// DecodeBatch decodes a batch of baseline JFIF/JPEG streams concurrently
+// under the same contract as EncodeBatch: out[i] decodes streams[i],
+// failed items stay nil and surface through a *BatchError.
+func DecodeBatch(ctx context.Context, streams [][]byte, opts BatchOptions) ([]*Image, error) {
+	return pipeline.Map(ctx, len(streams), opts.Workers, func(_ context.Context, i int) (*Image, error) {
+		return Decode(streams[i])
+	})
 }
 
 // Decode parses any baseline JFIF/JPEG stream into a color image.

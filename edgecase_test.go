@@ -1,0 +1,164 @@
+package deepnjpeg
+
+// Table-driven edge-case tests for the codec: degenerate and awkward
+// geometries (1×1, non-multiple-of-8/16 dimensions, extreme aspect
+// ratios) across both subsamplings, cross-checked against the stdlib
+// decoder, plus flat single-color inputs where quantization error is
+// near zero by construction.
+
+import (
+	"bytes"
+	"fmt"
+	"image/jpeg"
+	"testing"
+
+	"repro/internal/imgutil"
+	"repro/internal/jpegcodec"
+)
+
+// gradientImage renders a deterministic chroma-varying pattern so every
+// block carries signal.
+func gradientImage(w, h int) *Image {
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Set(x, y, uint8((x*7+y*3)%256), uint8((x*2+y*11)%256), uint8((x*5+255-y)%256))
+		}
+	}
+	return im
+}
+
+func flatImage(w, h int, r, g, b uint8) *Image {
+	im := NewImage(w, h)
+	for i := 0; i < w*h; i++ {
+		im.Pix[3*i], im.Pix[3*i+1], im.Pix[3*i+2] = r, g, b
+	}
+	return im
+}
+
+func TestEncodeDecodeEdgeGeometries(t *testing.T) {
+	sizes := []struct{ w, h int }{
+		{1, 1},
+		{7, 5},     // smaller than one block
+		{8, 8},     // exactly one block
+		{9, 17},    // one sample past the block grid in both axes
+		{16, 16},   // exactly one 4:2:0 MCU
+		{17, 9},    // one past an MCU
+		{31, 33},   // non-multiple of both 8 and 16
+		{16384, 8}, // 16k-wide strip, 1 block tall
+		{8, 2048},  // tall strip
+	}
+	subs := []jpegcodec.Subsampling{jpegcodec.Sub420, jpegcodec.Sub444}
+	for _, sz := range sizes {
+		for _, sub := range subs {
+			t.Run(fmt.Sprintf("%dx%d-%v", sz.w, sz.h, sub), func(t *testing.T) {
+				src := gradientImage(sz.w, sz.h)
+				var buf bytes.Buffer
+				opts := jpegcodec.Options{Subsampling: sub}
+				if err := jpegcodec.EncodeRGB(&buf, src, &opts); err != nil {
+					t.Fatal(err)
+				}
+				back, err := Decode(buf.Bytes())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if back.W != sz.w || back.H != sz.h {
+					t.Fatalf("decoded %dx%d, want %dx%d", back.W, back.H, sz.w, sz.h)
+				}
+				// Stdlib must agree on geometry and closely on content.
+				stdImg, err := jpeg.Decode(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("stdlib rejects the stream: %v", err)
+				}
+				if stdImg.Bounds().Dx() != sz.w || stdImg.Bounds().Dy() != sz.h {
+					t.Fatalf("stdlib decoded %dx%d, want %dx%d",
+						stdImg.Bounds().Dx(), stdImg.Bounds().Dy(), sz.w, sz.h)
+				}
+				if got := psnrOrDie(t, back, stdlibToRGB(t, stdImg)); got < 30 {
+					t.Fatalf("our decoder and stdlib disagree: %.1f dB", got)
+				}
+				// Fidelity: Annex-K QF50 defaults on a dense gradient; the
+				// 1×1 case is DC-only and nearly exact.
+				min := 15.0
+				if sz.w*sz.h == 1 {
+					min = 25
+				}
+				if got := psnrOrDie(t, src, back); got < min {
+					t.Fatalf("round-trip PSNR %.1f dB < %.1f dB", got, min)
+				}
+			})
+		}
+	}
+}
+
+func TestEncodeDecodeFlatColors(t *testing.T) {
+	colors := []struct {
+		name    string
+		r, g, b uint8
+	}{
+		{"black", 0, 0, 0},
+		{"white", 255, 255, 255},
+		{"mid-grey", 128, 128, 128},
+		{"saturated-red", 255, 0, 0},
+	}
+	for _, c := range colors {
+		for _, sz := range []struct{ w, h int }{{16, 16}, {13, 21}} {
+			t.Run(fmt.Sprintf("%s-%dx%d", c.name, sz.w, sz.h), func(t *testing.T) {
+				src := flatImage(sz.w, sz.h, c.r, c.g, c.b)
+				var buf bytes.Buffer
+				if err := jpegcodec.EncodeRGB(&buf, src, &jpegcodec.Options{}); err != nil {
+					t.Fatal(err)
+				}
+				back, err := Decode(buf.Bytes())
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A flat field has only DC energy; everything survives
+				// quantization up to rounding.
+				if got := psnrOrDie(t, src, back); got < 35 {
+					t.Fatalf("flat %s round-trip PSNR %.1f dB", c.name, got)
+				}
+			})
+		}
+	}
+}
+
+func TestEncodeRejectsDegenerateGeometry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := jpegcodec.EncodeRGB(&buf, NewImage(0, 0), &jpegcodec.Options{}); err == nil {
+		t.Fatal("0x0 image accepted")
+	}
+	if err := jpegcodec.EncodeGray(&buf, NewGray(0, 5), &jpegcodec.Options{}); err == nil {
+		t.Fatal("0-width gray image accepted")
+	}
+	big := &imgutil.RGB{W: 70000, H: 1, Pix: make([]uint8, 3*70000)}
+	if err := jpegcodec.EncodeRGB(&buf, big, &jpegcodec.Options{}); err == nil {
+		t.Fatal("image wider than the 65535 JFIF limit accepted")
+	}
+}
+
+func TestGrayEdgeGeometries(t *testing.T) {
+	for _, sz := range []struct{ w, h int }{{1, 1}, {7, 5}, {9, 17}, {4096, 8}} {
+		t.Run(fmt.Sprintf("%dx%d", sz.w, sz.h), func(t *testing.T) {
+			src := toGray(gradientImage(sz.w, sz.h))
+			var buf bytes.Buffer
+			if err := jpegcodec.EncodeGray(&buf, src, &jpegcodec.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			back, err := DecodeGray(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.W != sz.w || back.H != sz.h {
+				t.Fatalf("decoded %dx%d, want %dx%d", back.W, back.H, sz.w, sz.h)
+			}
+			v, err := imgutil.PSNR(src.Pix, back.Pix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 15 {
+				t.Fatalf("gray round-trip PSNR %.1f dB", v)
+			}
+		})
+	}
+}

@@ -41,6 +41,17 @@ func NewRawWriter(w io.Writer) *Writer {
 	return &Writer{w: w, stuff: false, buf: make([]byte, 0, 4096)}
 }
 
+// Reset discards all buffered state and redirects the Writer to w,
+// keeping the allocated output buffer. It lets callers pool Writers
+// across encodes; the stuffing mode is preserved.
+func (bw *Writer) Reset(w io.Writer) {
+	bw.w = w
+	bw.acc = 0
+	bw.nacc = 0
+	bw.buf = bw.buf[:0]
+	bw.n = 0
+}
+
 // WriteBits appends the low n bits of v to the stream, most significant bit
 // first. n must be in [0, 24]; larger writes must be split by the caller.
 func (bw *Writer) WriteBits(v uint32, n uint) error {

@@ -17,6 +17,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/dct"
@@ -45,6 +46,12 @@ type CalibrateOptions struct {
 	// baseline (the Fig. 5 comparison); thresholds then come from the δ
 	// values at the positional boundaries.
 	PositionBased bool
+	// Workers fans the frequency-statistics accumulation across a worker
+	// pool. Values ≤ 1 keep the single-threaded path. Each worker owns a
+	// deterministic contiguous slice of the sampled images and the partial
+	// accumulators merge in worker order, so a given worker count always
+	// produces the same result regardless of goroutine scheduling.
+	Workers int
 }
 
 // Framework is a calibrated DeepN-JPEG instance.
@@ -70,14 +77,7 @@ func Calibrate(ds *dataset.Dataset, opts CalibrateOptions) (*Framework, error) {
 	if len(idx) == 0 {
 		return nil, fmt.Errorf("core: sampling interval %d selected no images", opts.SampleEvery)
 	}
-	acc := freqstat.NewAccumulator()
-	chromaAcc := freqstat.NewAccumulator()
-	for _, i := range idx {
-		acc.AddRGBLuma(ds.Images[i])
-		if opts.Chroma {
-			chromaAcc.AddRGBChroma(ds.Images[i])
-		}
-	}
+	acc, chromaAcc := accumulateStats(ds, idx, opts.Chroma, opts.Workers)
 	stats, err := acc.Stats()
 	if err != nil {
 		return nil, fmt.Errorf("core: luma statistics: %w", err)
@@ -122,6 +122,52 @@ func Calibrate(ds *dataset.Dataset, opts CalibrateOptions) (*Framework, error) {
 		f.ChromaTable = qtable.MustScale(qtable.StdChrominance, 95)
 	}
 	return f, nil
+}
+
+// accumulateStats folds the sampled images into per-band accumulators,
+// fanning the work across workers when more than one is requested. Each
+// worker owns a contiguous chunk of idx fixed by index arithmetic, and
+// the partial accumulators merge in worker order, so the outcome depends
+// only on the worker count — never on goroutine scheduling.
+func accumulateStats(ds *dataset.Dataset, idx []int, chroma bool, workers int) (luma, chromaAcc *freqstat.Accumulator) {
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	if workers <= 1 {
+		luma, chromaAcc = freqstat.NewAccumulator(), freqstat.NewAccumulator()
+		for _, i := range idx {
+			luma.AddRGBLuma(ds.Images[i])
+			if chroma {
+				chromaAcc.AddRGBChroma(ds.Images[i])
+			}
+		}
+		return luma, chromaAcc
+	}
+	lumaParts := make([]*freqstat.Accumulator, workers)
+	chromaParts := make([]*freqstat.Accumulator, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lumaParts[w] = freqstat.NewAccumulator()
+		chromaParts[w] = freqstat.NewAccumulator()
+		lo, hi := w*len(idx)/workers, (w+1)*len(idx)/workers
+		wg.Add(1)
+		go func(la, ca *freqstat.Accumulator, chunk []int) {
+			defer wg.Done()
+			for _, i := range chunk {
+				la.AddRGBLuma(ds.Images[i])
+				if chroma {
+					ca.AddRGBChroma(ds.Images[i])
+				}
+			}
+		}(lumaParts[w], chromaParts[w], idx[lo:hi])
+	}
+	wg.Wait()
+	luma, chromaAcc = lumaParts[0], chromaParts[0]
+	for w := 1; w < workers; w++ {
+		luma.Merge(lumaParts[w])
+		chromaAcc.Merge(chromaParts[w])
+	}
+	return luma, chromaAcc
 }
 
 // Scheme names one compression configuration of the evaluation.

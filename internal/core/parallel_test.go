@@ -1,0 +1,83 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func calibrationDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.Quick()
+	cfg.TrainPerClass, cfg.TestPerClass = 12, 1
+	cfg.Color = true
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train
+}
+
+// TestParallelCalibrateMatchesSequential is the acceptance bar for the
+// parallel statistics pass: whatever the worker count, the calibrated
+// quantization tables must be byte-identical to the single-threaded
+// flow's, and repeated runs at the same worker count must agree
+// (scheduling independence).
+func TestParallelCalibrateMatchesSequential(t *testing.T) {
+	ds := calibrationDataset(t)
+	seq, err := Calibrate(ds, CalibrateOptions{Chroma: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, runtime.GOMAXPROCS(0), 64} {
+		par, err := Calibrate(ds, CalibrateOptions{Chroma: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.LumaTable != seq.LumaTable {
+			t.Fatalf("workers=%d: luma table differs from sequential\nseq:\n%spar:\n%s",
+				workers, seq.LumaTable.String(), par.LumaTable.String())
+		}
+		if par.ChromaTable != seq.ChromaTable {
+			t.Fatalf("workers=%d: chroma table differs from sequential", workers)
+		}
+		if par.SampledCount != seq.SampledCount {
+			t.Fatalf("workers=%d: sampled %d images, sequential sampled %d", workers, par.SampledCount, seq.SampledCount)
+		}
+		again, err := Calibrate(ds, CalibrateOptions{Chroma: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.LumaTable != par.LumaTable || again.Stats.Std != par.Stats.Std {
+			t.Fatalf("workers=%d: repeated parallel calibration is not deterministic", workers)
+		}
+	}
+}
+
+// TestParallelCalibrateConcurrentCallers runs several parallel
+// calibrations at once over the same dataset; meant for -race.
+func TestParallelCalibrateConcurrentCallers(t *testing.T) {
+	ds := calibrationDataset(t)
+	ref, err := Calibrate(ds, CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fw, err := Calibrate(ds, CalibrateOptions{Workers: 4})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if fw.LumaTable != ref.LumaTable {
+				t.Error("concurrent parallel calibration diverged from reference")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -93,6 +93,36 @@ func (a *Accumulator) AddRGBChroma(im *imgutil.RGB) {
 // Blocks reports how many blocks have been accumulated.
 func (a *Accumulator) Blocks() int64 { return a.n }
 
+// Merge folds the statistics of b into a, as if every block added to b
+// had been added to a instead, using the parallel variance combination
+// of Chan, Golub & LeVeque. It is how per-worker partial accumulators
+// from a parallel calibration pass collapse into one result; merging
+// worker partials in a fixed order keeps the outcome deterministic
+// across runs regardless of goroutine scheduling. b is left unchanged.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	na, nb := float64(a.n), float64(b.n)
+	n := na + nb
+	for i := 0; i < 64; i++ {
+		d := b.mean[i] - a.mean[i]
+		a.mean[i] += d * nb / n
+		a.m2[i] += b.m2[i] + d*d*na*nb/n
+		if b.min[i] < a.min[i] {
+			a.min[i] = b.min[i]
+		}
+		if b.max[i] > a.max[i] {
+			a.max[i] = b.max[i]
+		}
+	}
+	a.n += b.n
+}
+
 // Stats snapshots the accumulated per-band statistics.
 func (a *Accumulator) Stats() (*Stats, error) {
 	if a.n < 2 {

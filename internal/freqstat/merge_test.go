@@ -1,0 +1,100 @@
+package freqstat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dct"
+)
+
+func randomBlock(rng *rand.Rand) *dct.Block {
+	var b dct.Block
+	for i := range b {
+		b[i] = rng.NormFloat64()*40 + rng.Float64()*8
+	}
+	return &b
+}
+
+// TestMergeMatchesSequential feeds one stream of blocks to a single
+// accumulator and the same stream split across partials merged in order,
+// and requires the resulting statistics to agree to floating-point
+// tolerance (Chan et al. merging is algebraically exact; only rounding
+// differs from streaming Welford).
+func TestMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	blocks := make([]*dct.Block, 257)
+	for i := range blocks {
+		blocks[i] = randomBlock(rng)
+	}
+
+	seq := NewAccumulator()
+	for _, b := range blocks {
+		seq.AddBlock(b)
+	}
+	wantStats, err := seq.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, parts := range []int{2, 3, 8} {
+		merged := NewAccumulator()
+		for p := 0; p < parts; p++ {
+			part := NewAccumulator()
+			lo, hi := p*len(blocks)/parts, (p+1)*len(blocks)/parts
+			for _, b := range blocks[lo:hi] {
+				part.AddBlock(b)
+			}
+			merged.Merge(part)
+		}
+		if merged.Blocks() != seq.Blocks() {
+			t.Fatalf("parts=%d: merged %d blocks, want %d", parts, merged.Blocks(), seq.Blocks())
+		}
+		got, err := merged.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			if math.Abs(got.Mean[i]-wantStats.Mean[i]) > 1e-9 {
+				t.Fatalf("parts=%d band %d: mean %g vs %g", parts, i, got.Mean[i], wantStats.Mean[i])
+			}
+			if math.Abs(got.Std[i]-wantStats.Std[i]) > 1e-9 {
+				t.Fatalf("parts=%d band %d: std %g vs %g", parts, i, got.Std[i], wantStats.Std[i])
+			}
+			if got.Min[i] != wantStats.Min[i] || got.Max[i] != wantStats.Max[i] {
+				t.Fatalf("parts=%d band %d: min/max mismatch", parts, i)
+			}
+		}
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	full := NewAccumulator()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 16; i++ {
+		full.AddBlock(randomBlock(rng))
+	}
+	want, err := full.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// empty.Merge(full) adopts full's state; full.Merge(empty) is a no-op.
+	empty := NewAccumulator()
+	empty.Merge(full)
+	got, err := empty.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatal("merging into an empty accumulator does not adopt the source state")
+	}
+	full.Merge(NewAccumulator())
+	got2, err := full.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got2 != *want {
+		t.Fatal("merging an empty accumulator changed the statistics")
+	}
+}

@@ -82,8 +82,19 @@ type Planes struct {
 // ToYCbCr converts an RGB image to full-resolution JFIF YCbCr planes using
 // the BT.601 matrix (the one mandated by JFIF 1.02).
 func ToYCbCr(im *RGB) *Planes {
+	p := &Planes{}
+	p.FromRGB(im)
+	return p
+}
+
+// FromRGB converts im into p, reusing p's plane buffers when their
+// capacity suffices — the allocation-free path pooled encoders rely on.
+func (p *Planes) FromRGB(im *RGB) {
 	n := im.W * im.H
-	p := &Planes{W: im.W, H: im.H, Y: make([]uint8, n), Cb: make([]uint8, n), Cr: make([]uint8, n)}
+	p.W, p.H, p.Grayscale = im.W, im.H, false
+	p.Y = GrowBytes(p.Y, n)
+	p.Cb = GrowBytes(p.Cb, n)
+	p.Cr = GrowBytes(p.Cr, n)
 	for i := 0; i < n; i++ {
 		r := float64(im.Pix[3*i])
 		g := float64(im.Pix[3*i+1])
@@ -92,7 +103,15 @@ func ToYCbCr(im *RGB) *Planes {
 		p.Cb[i] = clamp8(-0.168736*r - 0.331264*g + 0.5*b + 128)
 		p.Cr[i] = clamp8(0.5*r - 0.418688*g - 0.081312*b + 128)
 	}
-	return p
+}
+
+// GrowBytes returns a slice of length n, reusing b's backing array when
+// it is large enough. The contents are unspecified; callers overwrite.
+func GrowBytes(b []uint8, n int) []uint8 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]uint8, n)
 }
 
 // GrayPlanes wraps a grayscale image as a luma-only plane set.
@@ -132,8 +151,14 @@ func (p *Planes) ToGray() *Gray {
 // the subsampling JPEG uses for 4:2:0 chroma. Odd dimensions replicate the
 // final row/column.
 func Downsample2x2(pix []uint8, w, h int) (out []uint8, ow, oh int) {
+	return Downsample2x2Into(nil, pix, w, h)
+}
+
+// Downsample2x2Into is Downsample2x2 writing into dst, reusing its
+// backing array when the capacity suffices.
+func Downsample2x2Into(dst, pix []uint8, w, h int) (out []uint8, ow, oh int) {
 	ow, oh = (w+1)/2, (h+1)/2
-	out = make([]uint8, ow*oh)
+	out = GrowBytes(dst, ow*oh)
 	for y := 0; y < oh; y++ {
 		for x := 0; x < ow; x++ {
 			x0, y0 := 2*x, 2*y

@@ -1,0 +1,98 @@
+package jpegcodec
+
+// Allocation-regression tests for the pooled encode path. Before the
+// sync.Pool scratch landed, every encode allocated its YCbCr planes,
+// subsampled chroma, per-component coefficient grids and entropy
+// buffers — hundreds of allocations and ~100 KB per 64×64 image. The
+// pooled steady state must stay down to the handful of small marker
+// slices the stream emission makes. Bounds are deliberately loose
+// (~2× observed) so they catch a lost pool, not allocator noise.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/imgutil"
+)
+
+func allocTestImage() *imgutil.RGB {
+	im := imgutil.NewRGB(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			im.Set(x, y, uint8(x*4), uint8(y*4), uint8((x+y)*2))
+		}
+	}
+	return im
+}
+
+func TestEncodeRGBAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	img := allocTestImage()
+	var buf bytes.Buffer
+	encode := func() {
+		buf.Reset()
+		if err := EncodeRGB(&buf, img, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		encode() // warm the scratch pools and the cached Huffman tables
+	}
+	allocs := testing.AllocsPerRun(100, encode)
+	t.Logf("pooled EncodeRGB: %.1f allocs/op", allocs)
+	if allocs > 64 {
+		t.Fatalf("steady-state EncodeRGB makes %.1f allocs/op, want ≤ 64 (pooling regressed)", allocs)
+	}
+}
+
+func TestEncodeGrayAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	img := allocTestImage().ToGray()
+	var buf bytes.Buffer
+	encode := func() {
+		buf.Reset()
+		if err := EncodeGray(&buf, img, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		encode()
+	}
+	allocs := testing.AllocsPerRun(100, encode)
+	t.Logf("pooled EncodeGray: %.1f allocs/op", allocs)
+	if allocs > 44 {
+		t.Fatalf("steady-state EncodeGray makes %.1f allocs/op, want ≤ 44 (pooling regressed)", allocs)
+	}
+}
+
+// TestDecodeAllocsBounded keeps the decoder honest too: its output
+// (planes, coefficient grids) must be allocated fresh — it escapes to
+// the caller — but the per-call overhead beyond that should stay small
+// and, above all, must not scale with repeated use.
+func TestDecodeAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	var buf bytes.Buffer
+	if err := EncodeRGB(&buf, allocTestImage(), nil); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+	decode := func() {
+		if _, err := Decode(bytes.NewReader(stream)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		decode()
+	}
+	allocs := testing.AllocsPerRun(50, decode)
+	t.Logf("Decode: %.1f allocs/op", allocs)
+	if allocs > 120 {
+		t.Fatalf("Decode makes %.1f allocs/op, want ≤ 120", allocs)
+	}
+}

@@ -69,7 +69,7 @@ func (d *Decoded) RGB() *imgutil.RGB {
 type decoder struct {
 	br    *bufio.Reader
 	quant map[int]qtable.Table
-	huff  map[int]*decTable // key: class<<4 | id
+	huff  [8]*decTable // index: class<<2 | id (baseline allows ids 0–3)
 	comps []*component
 	w, h  int
 	ri    int // restart interval in MCUs
@@ -78,10 +78,15 @@ type decoder struct {
 // Decode parses a baseline sequential JFIF/JPEG stream. Progressive and
 // arithmetic-coded streams are rejected with an error.
 func Decode(r io.Reader) (*Decoded, error) {
+	br := bufrPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	defer func() {
+		br.Reset(eofReader{}) // drop the caller's reader before pooling
+		bufrPool.Put(br)
+	}()
 	d := &decoder{
-		br:    bufio.NewReader(r),
+		br:    br,
 		quant: map[int]qtable.Table{},
-		huff:  map[int]*decTable{},
 	}
 	return d.run()
 }
@@ -226,6 +231,9 @@ func (d *decoder) parseDHT() error {
 		if tc > 1 {
 			return fmt.Errorf("jpegcodec: bad huffman class %d", tc)
 		}
+		if th > 3 {
+			return fmt.Errorf("jpegcodec: huffman table id %d exceeds baseline limit 3", th)
+		}
 		var spec HuffmanSpec
 		total := 0
 		for i := 0; i < 16; i++ {
@@ -241,7 +249,7 @@ func (d *decoder) parseDHT() error {
 		if err != nil {
 			return err
 		}
-		d.huff[tc<<4|th] = tab
+		d.huff[tc<<2|th] = tab
 	}
 	return nil
 }
@@ -345,6 +353,9 @@ func (d *decoder) parseSOSAndScan() error {
 		}
 		c.td = int(p[2+2*i] >> 4)
 		c.ta = int(p[2+2*i] & 0x0F)
+		if c.td > 3 || c.ta > 3 {
+			return fmt.Errorf("jpegcodec: huffman table ids %d/%d exceed baseline limit 3", c.td, c.ta)
+		}
 	}
 	ss, se := p[1+2*ns], p[2+2*ns]
 	if ss != 0 || se != 63 {
@@ -391,8 +402,8 @@ func (d *decoder) parseSOSAndScan() error {
 				}
 			}
 			for _, c := range d.comps {
-				dcTab := d.huff[0<<4|c.td]
-				acTab := d.huff[1<<4|c.ta]
+				dcTab := d.huff[0<<2|c.td]
+				acTab := d.huff[1<<2|c.ta]
 				if dcTab == nil || acTab == nil {
 					return fmt.Errorf("jpegcodec: missing huffman tables %d/%d", c.td, c.ta)
 				}

@@ -31,27 +31,25 @@ func EncodeRGB(w io.Writer, img *imgutil.RGB, opts *Options) error {
 		return err
 	}
 
-	planes := imgutil.ToYCbCr(img)
-	var comps []*component
+	s := getEncScratch()
+	defer putEncScratch(s)
+	s.planes.FromRGB(img)
 	switch o.Subsampling {
 	case Sub444:
-		comps = []*component{
-			{id: 1, h: 1, v: 1, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: planes.Y},
-			{id: 2, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: img.W, hgt: img.H, pix: planes.Cb},
-			{id: 3, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: img.W, hgt: img.H, pix: planes.Cr},
-		}
+		s.comps[0] = component{id: 1, h: 1, v: 1, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: s.planes.Y}
+		s.comps[1] = component{id: 2, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: img.W, hgt: img.H, pix: s.planes.Cb}
+		s.comps[2] = component{id: 3, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: img.W, hgt: img.H, pix: s.planes.Cr}
 	case Sub420:
-		cb, cw, ch := imgutil.Downsample2x2(planes.Cb, img.W, img.H)
-		cr, _, _ := imgutil.Downsample2x2(planes.Cr, img.W, img.H)
-		comps = []*component{
-			{id: 1, h: 2, v: 2, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: planes.Y},
-			{id: 2, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: cb},
-			{id: 3, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: cr},
-		}
+		var cw, ch int
+		s.cb, cw, ch = imgutil.Downsample2x2Into(s.cb, s.planes.Cb, img.W, img.H)
+		s.cr, _, _ = imgutil.Downsample2x2Into(s.cr, s.planes.Cr, img.W, img.H)
+		s.comps[0] = component{id: 1, h: 2, v: 2, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: s.planes.Y}
+		s.comps[1] = component{id: 2, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: s.cb}
+		s.comps[2] = component{id: 3, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: s.cr}
 	default:
 		return fmt.Errorf("jpegcodec: unknown subsampling %d", o.Subsampling)
 	}
-	return encode(w, img.W, img.H, comps, &o)
+	return encode(w, img.W, img.H, s.components(3), &o, s)
 }
 
 // EncodeGray writes img as a single-component baseline JFIF stream. Only
@@ -71,15 +69,16 @@ func EncodeGray(w io.Writer, img *imgutil.Gray, opts *Options) error {
 	if err := o.LumaTable.Validate(); err != nil {
 		return err
 	}
-	comps := []*component{
-		{id: 1, h: 1, v: 1, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: img.Pix},
-	}
-	return encode(w, img.W, img.H, comps, &o)
+	s := getEncScratch()
+	defer putEncScratch(s)
+	s.comps[0] = component{id: 1, h: 1, v: 1, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: img.Pix}
+	return encode(w, img.W, img.H, s.components(1), &o, s)
 }
 
 // encode runs the shared encoding pipeline: coefficient computation,
-// optional Huffman optimization, then marker and scan emission.
-func encode(w io.Writer, width, height int, comps []*component, o *Options) error {
+// optional Huffman optimization, then marker and scan emission. scratch
+// donates reusable coefficient grids and may be nil.
+func encode(w io.Writer, width, height int, comps []*component, o *Options, scratch *encScratch) error {
 	maxH, maxV := 1, 1
 	for _, c := range comps {
 		maxH = max(maxH, c.h)
@@ -89,14 +88,19 @@ func encode(w io.Writer, width, height int, comps []*component, o *Options) erro
 	mcusY := (height + 8*maxV - 1) / (8 * maxV)
 
 	// Forward-transform every block in the MCU-padded grid.
-	for _, c := range comps {
+	for ci, c := range comps {
 		tbl := &o.LumaTable
 		if c.tq == 1 {
 			tbl = &o.ChromaTable
 		}
 		c.blocksX = mcusX * c.h
 		c.blocksY = mcusY * c.v
-		c.coefs = make([][64]int32, c.blocksX*c.blocksY)
+		if scratch != nil {
+			c.coefs = growCoefs(scratch.coefs[ci], c.blocksX*c.blocksY)
+			scratch.coefs[ci] = c.coefs
+		} else {
+			c.coefs = make([][64]int32, c.blocksX*c.blocksY)
+		}
 		var tile [64]uint8
 		for by := 0; by < c.blocksY; by++ {
 			for bx := 0; bx < c.blocksX; bx++ {
@@ -105,32 +109,48 @@ func encode(w io.Writer, width, height int, comps []*component, o *Options) erro
 			}
 		}
 	}
+	return encodeTail(w, width, height, comps, mcusX, mcusY, o)
+}
 
-	// Choose Huffman tables.
+// encodeTail chooses Huffman tables and emits the complete stream for
+// already-transformed components; Requantize shares it with encode.
+func encodeTail(w io.Writer, width, height int, comps []*component, mcusX, mcusY int, o *Options) error {
 	specs := [4]*HuffmanSpec{&StdDCLuminance, &StdACLuminance, &StdDCChrominance, &StdACChrominance}
+	var enc [4]*encTable
 	if o.OptimizeHuffman {
 		opt, err := optimizeHuffman(comps, mcusX, mcusY, o.RestartInterval)
 		if err != nil {
 			return err
 		}
 		specs = opt
-	}
-	if len(comps) == 1 {
-		specs[2], specs[3] = nil, nil // no chroma tables needed
-	}
-	var enc [4]*encTable
-	for i, s := range specs {
-		if s == nil {
-			continue
+		for i, s := range specs {
+			if s == nil {
+				continue
+			}
+			t, err := buildEncTable(s)
+			if err != nil {
+				return err
+			}
+			enc[i] = t
 		}
-		t, err := buildEncTable(s)
+	} else {
+		std, err := stdEncoderTables()
 		if err != nil {
 			return err
 		}
-		enc[i] = t
+		enc = std
+	}
+	if len(comps) == 1 {
+		specs[2], specs[3] = nil, nil // no chroma tables needed
+		enc[2], enc[3] = nil, nil
 	}
 
-	bw := bufio.NewWriter(w)
+	bw := bufwPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Reset(io.Discard) // drop the caller's writer before pooling
+		bufwPool.Put(bw)
+	}()
 	if err := writeMarkers(bw, width, height, comps, specs, o); err != nil {
 		return err
 	}
@@ -176,18 +196,18 @@ func forEachDataUnit(comps []*component, mcusX, mcusY int, fn func(c *component,
 // sequence and builds per-image tables.
 func optimizeHuffman(comps []*component, mcusX, mcusY, restart int) ([4]*HuffmanSpec, error) {
 	var freqs [4][256]int64
-	prevDC := map[*component]int32{}
+	var prevDC [4]int32 // indexed by component position in comps
 	mcu := 0
 	countMCU := func(my, mx int) {
-		for _, c := range comps {
+		for ci, c := range comps {
 			dcID, acID := tableIDs(c)
 			for vy := 0; vy < c.v; vy++ {
 				for vx := 0; vx < c.h; vx++ {
 					bx := mx*c.h + vx
 					by := my*c.v + vy
 					coefs := &c.coefs[by*c.blocksX+bx]
-					countBlockSymbols(coefs, prevDC[c], &freqs[dcID], &freqs[acID])
-					prevDC[c] = coefs[0]
+					countBlockSymbols(coefs, prevDC[ci], &freqs[dcID], &freqs[acID])
+					prevDC[ci] = coefs[0]
 				}
 			}
 		}
@@ -195,9 +215,7 @@ func optimizeHuffman(comps []*component, mcusX, mcusY, restart int) ([4]*Huffman
 	for my := 0; my < mcusY; my++ {
 		for mx := 0; mx < mcusX; mx++ {
 			if restart > 0 && mcu > 0 && mcu%restart == 0 {
-				for _, c := range comps {
-					prevDC[c] = 0
-				}
+				prevDC = [4]int32{}
 			}
 			countMCU(my, mx)
 			mcu++
@@ -245,8 +263,13 @@ func countBlockSymbols(coefs *[64]int32, prevDC int32, dcFreq, acFreq *[256]int6
 
 // writeScan emits the entropy-coded segment.
 func writeScan(w *bufio.Writer, comps []*component, enc [4]*encTable, mcusX, mcusY, restart int) error {
-	bw := bitio.NewWriter(w)
-	prevDC := map[*component]int32{}
+	bw := bitwPool.Get().(*bitio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Reset(io.Discard) // drop the caller's writer before pooling
+		bitwPool.Put(bw)
+	}()
+	var prevDC [4]int32 // indexed by component position in comps
 	mcu := 0
 	rstIndex := 0
 	for my := 0; my < mcusY; my++ {
@@ -259,21 +282,19 @@ func writeScan(w *bufio.Writer, comps []*component, enc [4]*encTable, mcusX, mcu
 					return err
 				}
 				rstIndex = (rstIndex + 1) % 8
-				for _, c := range comps {
-					prevDC[c] = 0
-				}
+				prevDC = [4]int32{}
 			}
-			for _, c := range comps {
+			for ci, c := range comps {
 				dcID, acID := tableIDs(c)
 				for vy := 0; vy < c.v; vy++ {
 					for vx := 0; vx < c.h; vx++ {
 						bx := mx*c.h + vx
 						by := my*c.v + vy
 						coefs := &c.coefs[by*c.blocksX+bx]
-						if err := encodeBlock(bw, coefs, prevDC[c], enc[dcID], enc[acID]); err != nil {
+						if err := encodeBlock(bw, coefs, prevDC[ci], enc[dcID], enc[acID]); err != nil {
 							return err
 						}
-						prevDC[c] = coefs[0]
+						prevDC[ci] = coefs[0]
 					}
 				}
 			}

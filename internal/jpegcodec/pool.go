@@ -1,0 +1,98 @@
+package jpegcodec
+
+import (
+	"bufio"
+	"io"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/imgutil"
+)
+
+// This file holds the pooled per-call working set of the codec. Encoding
+// an image needs three YCbCr planes, subsampled chroma planes, one
+// coefficient array per component, a marker writer, and an entropy bit
+// writer — all of it scratch that dies with the call. Re-allocating it
+// per image dominates the allocation profile once the codec sits in a
+// batch pipeline's inner loop, so every piece is recycled through
+// sync.Pools, which also makes the encoder naturally worker-friendly:
+// each concurrent encode checks out its own scratch.
+
+// encScratch is the reusable working set of one encode call.
+type encScratch struct {
+	planes imgutil.Planes      // full-resolution YCbCr conversion buffers
+	cb, cr []uint8             // 4:2:0 subsampled chroma buffers
+	coefs  [3][][64]int32      // per-component quantized coefficient grids
+	comps  [3]component        // component descriptors
+	refs   [3]*component       // backing array for the []*component slice
+}
+
+var encScratchPool = sync.Pool{New: func() any { return new(encScratch) }}
+
+func getEncScratch() *encScratch {
+	s := encScratchPool.Get().(*encScratch)
+	for i := range s.refs {
+		s.refs[i] = &s.comps[i]
+	}
+	return s
+}
+
+// putEncScratch returns s to the pool, dropping references to caller
+// memory (source pixels) while keeping the recyclable buffers.
+func putEncScratch(s *encScratch) {
+	s.comps = [3]component{}
+	encScratchPool.Put(s)
+}
+
+// components hands out the scratch-backed descriptor slice for n
+// components; the caller fills s.comps[:n] first.
+func (s *encScratch) components(n int) []*component {
+	return s.refs[:n]
+}
+
+// growCoefs returns a coefficient grid of n blocks, reusing b's backing
+// array when it is large enough. Contents are unspecified; every block
+// is fully overwritten by the forward transform.
+func growCoefs(b [][64]int32, n int) [][64]int32 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([][64]int32, n)
+}
+
+// bufwPool recycles the buffered marker/scan writers.
+var bufwPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 1<<12) }}
+
+// bitwPool recycles entropy bit writers; each retains its grown output
+// buffer across encodes.
+var bitwPool = sync.Pool{New: func() any { return bitio.NewWriter(io.Discard) }}
+
+// eofReader is the parking target for pooled readers so they do not pin
+// caller streams while idle.
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// bufrPool recycles the decoder's buffered readers.
+var bufrPool = sync.Pool{New: func() any { return bufio.NewReaderSize(eofReader{}, 1<<12) }}
+
+// Standard Annex-K Huffman specs never change, so their derived encoder
+// tables are built once and shared by every non-optimized encode.
+var (
+	stdEncOnce   sync.Once
+	stdEncTables [4]*encTable
+	stdEncErr    error
+)
+
+func stdEncoderTables() ([4]*encTable, error) {
+	stdEncOnce.Do(func() {
+		specs := [4]*HuffmanSpec{&StdDCLuminance, &StdACLuminance, &StdDCChrominance, &StdACChrominance}
+		for i, s := range specs {
+			stdEncTables[i], stdEncErr = buildEncTable(s)
+			if stdEncErr != nil {
+				return
+			}
+		}
+	})
+	return stdEncTables, stdEncErr
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package jpegcodec
+
+const raceEnabled = true

@@ -1,7 +1,6 @@
 package jpegcodec
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 
@@ -77,38 +76,5 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 	mcusX := comps[0].blocksX / comps[0].h
 	mcusY := comps[0].blocksY / comps[0].v
 
-	specs := [4]*HuffmanSpec{&StdDCLuminance, &StdACLuminance, &StdDCChrominance, &StdACChrominance}
-	if o.OptimizeHuffman {
-		opt, err := optimizeHuffman(comps, mcusX, mcusY, o.RestartInterval)
-		if err != nil {
-			return err
-		}
-		specs = opt
-	}
-	if len(comps) == 1 {
-		specs[2], specs[3] = nil, nil
-	}
-	var enc [4]*encTable
-	for i, s := range specs {
-		if s == nil {
-			continue
-		}
-		t, err := buildEncTable(s)
-		if err != nil {
-			return err
-		}
-		enc[i] = t
-	}
-
-	bw := bufio.NewWriter(w)
-	if err := writeMarkers(bw, d.W, d.H, comps, specs, &o); err != nil {
-		return err
-	}
-	if err := writeScan(bw, comps, enc, mcusX, mcusY, o.RestartInterval); err != nil {
-		return err
-	}
-	if err := writeMarker(bw, mEOI); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return encodeTail(w, d.W, d.H, comps, mcusX, mcusY, &o)
 }

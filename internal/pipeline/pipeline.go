@@ -1,0 +1,156 @@
+// Package pipeline provides the concurrent batch runner behind the
+// DeepN-JPEG batch APIs: a fixed-size worker pool that maps a function
+// over an index range with order-preserving results, per-item error
+// collection, and context cancellation. The paper frames the codec as a
+// storage-layer primitive invoked millions of times over IoT/data-center
+// image volume; this package is what turns the one-image-at-a-time codec
+// into a throughput-oriented batch engine without threading concurrency
+// concerns through the codec itself.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values ≤ 0 select
+// runtime.GOMAXPROCS(0), and the count never exceeds the number of items
+// (a pool larger than the batch only spawns idle goroutines).
+func Workers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if items >= 0 && w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ItemError records the failure of one batch item.
+type ItemError struct {
+	Index int
+	Err   error
+}
+
+func (e *ItemError) Error() string { return fmt.Sprintf("item %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ItemError) Unwrap() error { return e.Err }
+
+// BatchError aggregates the failures of a batch run, sorted by item
+// index. Items absent from the list succeeded (or were never attempted
+// because the context was canceled — in that case the error returned by
+// Map also matches the context error).
+type BatchError struct {
+	Items []*ItemError
+}
+
+func (e *BatchError) Error() string {
+	if len(e.Items) == 1 {
+		return "pipeline: 1 item failed: " + e.Items[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline: %d items failed: ", len(e.Items))
+	for i, it := range e.Items {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(it.Error())
+		if i == 3 && len(e.Items) > 4 {
+			fmt.Fprintf(&b, "; … %d more", len(e.Items)-4)
+			break
+		}
+	}
+	return b.String()
+}
+
+// Unwrap exposes every per-item error to errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Items))
+	for i, it := range e.Items {
+		out[i] = it
+	}
+	return out
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a pool of worker
+// goroutines and returns the results in item order: out[i] is fn's value
+// for index i regardless of which worker computed it or when.
+//
+// workers ≤ 0 selects GOMAXPROCS. Map always returns a slice of length n;
+// entries whose item failed (or was skipped after cancellation) hold the
+// zero value. When items fail the returned error is (or wraps) a
+// *BatchError listing them; when ctx is canceled mid-batch the error also
+// matches ctx.Err() via errors.Is, workers stop claiming new items, and
+// in-flight items run to completion.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	workers = Workers(workers, n)
+
+	var (
+		next  atomic.Int64 // next unclaimed index
+		mu    sync.Mutex
+		items []*ItemError
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					mu.Lock()
+					items = append(items, &ItemError{Index: i, Err: err})
+					mu.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	var batchErr error
+	if len(items) > 0 {
+		sort.Slice(items, func(a, b int) bool { return items[a].Index < items[b].Index })
+		batchErr = &BatchError{Items: items}
+	}
+	if err := ctx.Err(); err != nil {
+		if batchErr != nil {
+			return out, errors.Join(err, batchErr)
+		}
+		return out, err
+	}
+	return out, batchErr
+}
+
+// Run is Map for side-effecting work: it executes fn(ctx, i) for every i
+// in [0, n) on the worker pool and reports the aggregate error under the
+// same contract as Map.
+func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, n, workers, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

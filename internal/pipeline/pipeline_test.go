@@ -1,0 +1,246 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0, 99} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 137
+			out, err := Map(context.Background(), n, workers, func(_ context.Context, i int) (int, error) {
+				return i * i, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != n {
+				t.Fatalf("got %d results, want %d", len(out), n)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for empty batch")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapPerItemErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	out, err := Map(context.Background(), 10, 3, func(_ context.Context, i int) (int, error) {
+		if i%3 == 0 {
+			return 0, fmt.Errorf("i=%d: %w", i, sentinel)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T does not unwrap to *BatchError", err)
+	}
+	wantFailed := []int{0, 3, 6, 9}
+	if len(be.Items) != len(wantFailed) {
+		t.Fatalf("got %d failed items, want %d (%v)", len(be.Items), len(wantFailed), be)
+	}
+	for k, it := range be.Items {
+		if it.Index != wantFailed[k] {
+			t.Fatalf("failed item %d has index %d, want %d (items must be sorted)", k, it.Index, wantFailed[k])
+		}
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatal("errors.Is does not reach the wrapped sentinel")
+	}
+	for i, v := range out {
+		want := i
+		if i%3 == 0 {
+			want = 0 // zero value at failed slots
+		}
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Map(ctx, 1000, 4, func(_ context.Context, i int) (int, error) {
+			if started.Add(1) == 4 {
+				cancel()
+			}
+			<-release
+			return i + 1, nil
+		})
+	}()
+	// Let the first wave of workers claim items, then release them.
+	for started.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("got %d results, want full-length slice", len(out))
+	}
+	// In-flight items completed; nothing new was claimed after cancel.
+	if n := started.Load(); n > 8 {
+		t.Fatalf("%d items started after cancellation of a 4-worker pool", n)
+	}
+}
+
+func TestMapCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := Map(ctx, 50, 4, func(_ context.Context, i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("%d items ran under a pre-canceled context", calls.Load())
+	}
+}
+
+func TestMapConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), 64, workers, func(_ context.Context, i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent items, want ≤ %d", p, workers)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	cases := []struct{ req, items, want int }{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-1, 100, runtime.GOMAXPROCS(0)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{2, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.req, c.items); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.req, c.items, got, c.want)
+		}
+	}
+}
+
+func TestRunAggregatesErrors(t *testing.T) {
+	var sum atomic.Int64
+	err := Run(context.Background(), 20, 5, func(_ context.Context, i int) error {
+		if i == 7 || i == 13 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		sum.Add(int64(i))
+		return nil
+	})
+	var be *BatchError
+	if !errors.As(err, &be) || len(be.Items) != 2 {
+		t.Fatalf("err = %v, want BatchError with 2 items", err)
+	}
+	want := int64(19*20/2 - 7 - 13)
+	if sum.Load() != want {
+		t.Fatalf("side effects sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+// TestMapSharedStateRace exercises the runner under the race detector:
+// many concurrent batches sharing one results sink through proper
+// synchronization must not trip -race.
+func TestMapSharedStateRace(t *testing.T) {
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := Map(context.Background(), 100, 4, func(_ context.Context, i int) (int, error) {
+				return 1, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, v := range out {
+				total.Add(int64(v))
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 400 {
+		t.Fatalf("total = %d, want 400", total.Load())
+	}
+}
+
+func TestBatchErrorMessage(t *testing.T) {
+	be := &BatchError{Items: []*ItemError{{Index: 2, Err: errors.New("x")}}}
+	if got := be.Error(); got != "pipeline: 1 item failed: item 2: x" {
+		t.Fatalf("unexpected message %q", got)
+	}
+	var many []*ItemError
+	for i := 0; i < 8; i++ {
+		many = append(many, &ItemError{Index: i, Err: errors.New("x")})
+	}
+	msg := (&BatchError{Items: many}).Error()
+	if want := "… 4 more"; !contains(msg, want) {
+		t.Fatalf("message %q does not truncate with %q", msg, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full pre-merge gate: vet, build, and the complete test suite under the
+# race detector. Equivalent to `make check` for environments without make.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
