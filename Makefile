@@ -1,14 +1,18 @@
 # Developer entry points for the DeepN-JPEG reproduction.
 #
-#   make check   # vet + build + full test suite under the race detector
+#   make check   # gofmt gate + vet + build + full test suite under the race detector
 #   make test    # plain test run (what tier-1 verification executes)
-#   make bench   # codec/pipeline benchmarks with allocation reporting
+#   make bench   # DCT/codec/pipeline benchmarks with allocation reporting
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check vet build test race bench
+.PHONY: check fmt vet build test race bench
 
-check: vet build race
+check: fmt vet build race
+
+fmt:
+	@out="$$($(GOFMT) -l .)" || exit 1; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -23,4 +27,6 @@ race:
 	$(GO) test -race ./...
 
 bench:
+	$(GO) test -run XXX -bench 'Transform|ForwardAAN|InverseAAN' -benchmem ./internal/dct
+	$(GO) test -run XXX -bench 'Transform|DecodePooled|EncodeRGB420|DecodeRGB420' -benchmem ./internal/jpegcodec
 	$(GO) test -run XXX -bench 'EncodeBatch|DecodeBatch|CalibrateParallel|DeepNEncodeThroughput' -benchmem ./

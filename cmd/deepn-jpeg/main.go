@@ -2,16 +2,21 @@
 //
 //	deepn-jpeg calibrate  -classes 8 -per-class 40 [-chroma] [-workers N]  # print calibrated tables
 //	deepn-jpeg encode     -in img.(ppm|pgm|png|jpg) -out out.jpg
-//	                      [-qf 85 | -deepn] [-subsampling 420|444] [-optimize]
+//	                      [-qf 85 | -deepn] [-subsampling 420|444] [-optimize] [-fast-dct]
 //	deepn-jpeg encode     -in dir/ -out dir/ [-workers N] ...       # batch-encode a directory
-//	deepn-jpeg decode     -in img.jpg -out out.(ppm|pgm|png)
+//	deepn-jpeg decode     -in img.jpg -out out.(ppm|pgm|png) [-fast-dct]
+//	deepn-jpeg decode     -in dir/ -out dir/ [-format png] [-workers N]  # batch-decode a directory
+//	deepn-jpeg requantize -in img.jpg -out out.jpg [-qf 60 | -deepn]     # alias: transcode
+//	deepn-jpeg requantize -in dir/ -out dir/ [-workers N] ...      # batch-requantize a directory
 //	deepn-jpeg inspect    -in img.jpg                               # tables + metadata
 //
 // Calibration runs on the built-in SynthNet generator so the tool works
 // without external data; encode -deepn calibrates on the fly the same way.
-// When -in names a directory, encode compresses every supported image in
-// it onto -out (a directory) through the concurrent batch pipeline;
-// -workers sizes the pool (0 = GOMAXPROCS).
+// When -in names a directory, encode, decode and requantize process every
+// supported image in it onto -out (a directory) through the concurrent
+// batch pipeline; -workers sizes the pool (0 = GOMAXPROCS). -fast-dct
+// switches the block transform to the AAN fast engine: encoded streams
+// are byte-identical to the naive engine, just produced faster.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -49,8 +55,8 @@ func main() {
 		err = runEncode(os.Args[2:])
 	case "decode":
 		err = runDecode(os.Args[2:])
-	case "transcode":
-		err = runTranscode(os.Args[2:])
+	case "requantize", "transcode":
+		err = runRequantize(os.Args[2:])
 	case "inspect":
 		err = runInspect(os.Args[2:])
 	case "-h", "--help", "help":
@@ -66,34 +72,30 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: deepn-jpeg <calibrate|encode|decode|transcode|inspect> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: deepn-jpeg <calibrate|encode|decode|requantize|inspect> [flags]")
 }
 
-// runTranscode requantizes an existing JPEG in the coefficient domain —
-// no second IDCT/DCT generation loss — either to a plain QF table or to a
-// DeepN-JPEG table calibrated on SynthNet.
-func runTranscode(args []string) error {
-	fs := flag.NewFlagSet("transcode", flag.ExitOnError)
-	in := fs.String("in", "", "input JPEG")
-	out := fs.String("out", "", "output JPEG")
+// runRequantize re-targets existing JPEGs in the coefficient domain — no
+// second IDCT/DCT generation loss — either to a plain QF table or to a
+// DeepN-JPEG table calibrated on SynthNet. (Also reachable as the legacy
+// "transcode" subcommand.) A directory input batch-requantizes through
+// the concurrent pipeline.
+func runRequantize(args []string) error {
+	fs := flag.NewFlagSet("requantize", flag.ExitOnError)
+	in := fs.String("in", "", "input JPEG or directory")
+	out := fs.String("out", "", "output JPEG or directory")
 	qf := fs.Int("qf", 60, "target quality factor (standard tables)")
 	deepn := fs.Bool("deepn", false, "retarget to a DeepN-JPEG table calibrated on SynthNet")
 	optimize := fs.Bool("optimize", true, "optimized Huffman tables")
+	workers := fs.Int("workers", 0, "worker-pool size for directory requantization (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
-		return fmt.Errorf("transcode needs -in and -out")
-	}
-	src, err := os.ReadFile(*in)
-	if err != nil {
-		return err
-	}
-	dec, err := jpegcodec.Decode(bytes.NewReader(src))
-	if err != nil {
-		return err
+		return fmt.Errorf("requantize needs -in and -out")
 	}
 	var luma, chroma qtable.Table
+	var err error
 	if *deepn {
 		train, _, err := dataset.Generate(dataset.Quick())
 		if err != nil {
@@ -112,15 +114,126 @@ func runTranscode(args []string) error {
 			return err
 		}
 	}
-	var buf bytes.Buffer
-	if err := jpegcodec.Requantize(&buf, dec, luma, chroma, &jpegcodec.Options{OptimizeHuffman: *optimize}); err != nil {
+	opts := jpegcodec.Options{OptimizeHuffman: *optimize}
+	if st, err := os.Stat(*in); err == nil && st.IsDir() {
+		return requantizeDir(*in, *out, *workers, luma, chroma, opts)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+	n, err := requantizeStream(src, *out, luma, chroma, opts)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d → %d bytes (%.2f×), coefficient-domain requantization\n",
-		*out, len(src), buf.Len(), float64(len(src))/float64(buf.Len()))
+		*out, len(src), n, float64(len(src))/float64(n))
+	return nil
+}
+
+// decodedPool recycles the Decoded working sets of batch requantization;
+// coefficients stay inside requantizeStream, so planes and grids are
+// reused across images (and across workers).
+var decodedPool = sync.Pool{New: func() any { return new(jpegcodec.Decoded) }}
+
+// requantizeStream requantizes one in-memory JPEG onto outPath and
+// returns the output size.
+func requantizeStream(src []byte, outPath string, luma, chroma qtable.Table, opts jpegcodec.Options) (int, error) {
+	dec := decodedPool.Get().(*jpegcodec.Decoded)
+	defer decodedPool.Put(dec)
+	if err := jpegcodec.DecodeInto(bytes.NewReader(src), dec, nil); err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	if err := jpegcodec.Requantize(&buf, dec, luma, chroma, &opts); err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}
+
+// requantizeDir batch-requantizes every JPEG in inDir onto outDir through
+// the concurrent pipeline, with the same output-collision detection and
+// partial-failure reporting as encodeDir.
+func requantizeDir(inDir, outDir string, workers int, luma, chroma qtable.Table, opts jpegcodec.Options) error {
+	inputs, err := listInputs(inDir, ".jpg", ".jpeg")
+	if err != nil {
+		return err
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("no JPEGs (jpg/jpeg) in %s", inDir)
+	}
+	if err := checkOutputCollisions(inputs, ".jpg"); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var inBytes, outBytes, okCount atomic.Int64
+	start := time.Now()
+	err = pipeline.Run(context.Background(), len(inputs), workers, func(_ context.Context, i int) error {
+		src, err := os.ReadFile(filepath.Join(inDir, inputs[i]))
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(inputs[i], filepath.Ext(inputs[i])) + ".jpg"
+		n, err := requantizeStream(src, filepath.Join(outDir, name), luma, chroma, opts)
+		if err != nil {
+			return err
+		}
+		inBytes.Add(int64(len(src)))
+		outBytes.Add(int64(n))
+		okCount.Add(1)
+		return nil
+	})
+	elapsed := time.Since(start)
+	ok := okCount.Load()
+	fmt.Printf("%s: requantized %d/%d JPEGs from %s (workers=%d) in %v (%.1f MB → %.1f MB, %.1f images/s)\n",
+		outDir, ok, len(inputs), inDir, pipeline.Workers(workers, len(inputs)), elapsed.Round(time.Millisecond),
+		float64(inBytes.Load())/1e6, float64(outBytes.Load())/1e6,
+		float64(ok)/elapsed.Seconds())
+	return err
+}
+
+// listInputs returns the sorted base names in dir whose extension matches
+// one of exts (case-insensitive).
+func listInputs(dir string, exts ...string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var inputs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := strings.ToLower(filepath.Ext(e.Name()))
+		for _, want := range exts {
+			if ext == want {
+				inputs = append(inputs, e.Name())
+				break
+			}
+		}
+	}
+	sort.Strings(inputs)
+	return inputs, nil
+}
+
+// checkOutputCollisions rejects batches in which two distinct inputs map
+// to the same output name: a collision would make one worker's output
+// clobber another's (or, when -in and -out are the same directory,
+// overwrite an input another worker has yet to read).
+func checkOutputCollisions(inputs []string, outExt string) error {
+	outNames := make(map[string]string, len(inputs))
+	for _, in := range inputs {
+		name := strings.TrimSuffix(in, filepath.Ext(in)) + outExt
+		if prev, dup := outNames[name]; dup {
+			return fmt.Errorf("inputs %s and %s both map to output %s", prev, in, name)
+		}
+		outNames[name] = in
+	}
 	return nil
 }
 
@@ -213,6 +326,7 @@ func runEncode(args []string) error {
 	sub := fs.String("subsampling", "420", "chroma subsampling: 420 or 444")
 	optimize := fs.Bool("optimize", false, "optimized Huffman tables")
 	workers := fs.Int("workers", 0, "worker-pool size for directory encoding (0 = GOMAXPROCS)")
+	fastDCT := fs.Bool("fast-dct", false, "use the AAN fast DCT engine (identical output, faster)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,6 +334,9 @@ func runEncode(args []string) error {
 		return fmt.Errorf("encode needs -in and -out")
 	}
 	opts := jpegcodec.Options{OptimizeHuffman: *optimize}
+	if *fastDCT {
+		opts.Transform = deepnjpeg.TransformAAN
+	}
 	var err error
 	switch *sub {
 	case "420":
@@ -281,34 +398,15 @@ func runEncode(args []string) error {
 // with a .jpg extension; failures are reported per item at the end
 // without aborting the rest of the batch.
 func encodeDir(inDir, outDir string, workers int, opts jpegcodec.Options) error {
-	entries, err := os.ReadDir(inDir)
+	inputs, err := listInputs(inDir, ".ppm", ".pgm", ".png", ".jpg", ".jpeg")
 	if err != nil {
 		return err
-	}
-	var inputs []string
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		switch strings.ToLower(filepath.Ext(e.Name())) {
-		case ".ppm", ".pgm", ".png", ".jpg", ".jpeg":
-			inputs = append(inputs, e.Name())
-		}
 	}
 	if len(inputs) == 0 {
 		return fmt.Errorf("no encodable images (ppm/pgm/png/jpg) in %s", inDir)
 	}
-	sort.Strings(inputs)
-	// Distinct inputs must map to distinct outputs: a collision would make
-	// one worker's output clobber another's (or, when -in and -out are the
-	// same directory, overwrite an input another worker has yet to read).
-	outNames := make(map[string]string, len(inputs))
-	for _, in := range inputs {
-		name := strings.TrimSuffix(in, filepath.Ext(in)) + ".jpg"
-		if prev, dup := outNames[name]; dup {
-			return fmt.Errorf("inputs %s and %s both map to output %s", prev, in, name)
-		}
-		outNames[name] = in
+	if err := checkOutputCollisions(inputs, ".jpg"); err != nil {
+		return err
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -345,19 +443,29 @@ func encodeDir(inDir, outDir string, workers int, opts jpegcodec.Options) error 
 
 func runDecode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
-	in := fs.String("in", "", "input JPEG")
-	out := fs.String("out", "", "output image (ppm/pgm/png)")
+	in := fs.String("in", "", "input JPEG or directory")
+	out := fs.String("out", "", "output image (ppm/pgm/png) or directory")
+	format := fs.String("format", "png", "output format for directory decoding: png, ppm or pgm")
+	workers := fs.Int("workers", 0, "worker-pool size for directory decoding (0 = GOMAXPROCS)")
+	fastDCT := fs.Bool("fast-dct", false, "use the AAN fast IDCT engine for reconstruction")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decode needs -in and -out")
 	}
+	opts := deepnjpeg.DecodeOptions{}
+	if *fastDCT {
+		opts.Transform = deepnjpeg.TransformAAN
+	}
+	if st, err := os.Stat(*in); err == nil && st.IsDir() {
+		return decodeDir(*in, *out, *format, *workers, opts)
+	}
 	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
-	img, err := deepnjpeg.Decode(data)
+	img, err := deepnjpeg.DecodeInto(nil, data, opts)
 	if err != nil {
 		return err
 	}
@@ -366,6 +474,56 @@ func runDecode(args []string) error {
 	}
 	fmt.Printf("%s: %dx%d\n", *out, img.W, img.H)
 	return nil
+}
+
+// decodeDir batch-decodes every JPEG in inDir onto outDir through the
+// concurrent pipeline, with the same output-collision detection and
+// partial-failure reporting as encodeDir.
+func decodeDir(inDir, outDir, format string, workers int, opts deepnjpeg.DecodeOptions) error {
+	switch format {
+	case "png", "ppm", "pgm":
+	default:
+		return fmt.Errorf("bad -format %q (want png, ppm or pgm)", format)
+	}
+	outExt := "." + format
+	inputs, err := listInputs(inDir, ".jpg", ".jpeg")
+	if err != nil {
+		return err
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("no JPEGs (jpg/jpeg) in %s", inDir)
+	}
+	if err := checkOutputCollisions(inputs, outExt); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var pixels, okCount atomic.Int64
+	start := time.Now()
+	err = pipeline.Run(context.Background(), len(inputs), workers, func(_ context.Context, i int) error {
+		data, err := os.ReadFile(filepath.Join(inDir, inputs[i]))
+		if err != nil {
+			return err
+		}
+		img, err := deepnjpeg.DecodeInto(nil, data, opts)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(inputs[i], filepath.Ext(inputs[i])) + outExt
+		if err := saveImage(filepath.Join(outDir, name), img); err != nil {
+			return err
+		}
+		pixels.Add(int64(img.W * img.H))
+		okCount.Add(1)
+		return nil
+	})
+	elapsed := time.Since(start)
+	ok := okCount.Load()
+	fmt.Printf("%s: decoded %d/%d JPEGs from %s (workers=%d) in %v (%.1f MP, %.1f images/s)\n",
+		outDir, ok, len(inputs), inDir, pipeline.Workers(workers, len(inputs)), elapsed.Round(time.Millisecond),
+		float64(pixels.Load())/1e6, float64(ok)/elapsed.Seconds())
+	return err
 }
 
 func runInspect(args []string) error {

@@ -35,15 +35,35 @@
 // shared mutable state. Calibration itself can likewise fan the
 // frequency-statistics pass across workers via CalibrateConfig.Workers,
 // with results independent of goroutine scheduling.
+//
+// # Block-transform engines
+//
+// The 8×8 DCT at the heart of every encode and decode is pluggable.
+// CalibrateConfig.Transform and DecodeOptions.Transform select between
+// the naive separable transform (the default) and the Arai–Agui–Nakajima
+// fast transform (TransformAAN), which roughly halves block-transform
+// cost. The engines produce byte-identical encoded streams — their
+// floating-point differences are absorbed by quantization — so the fast
+// path is safe to enable wherever throughput matters:
+//
+//	codec, err := deepnjpeg.Calibrate(imgs, labels,
+//	    deepnjpeg.CalibrateConfig{Transform: deepnjpeg.TransformAAN})
+//
+// Decode-side buffers are reusable too: DecodeInto fills a caller-owned
+// image and DecodeBatchInto a caller-owned slice of them, making the
+// steady-state decode loop allocation-free on top of the pooled decoder
+// state every decode already shares.
 package deepnjpeg
 
 import (
 	"bytes"
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dct"
 	"repro/internal/imgutil"
 	"repro/internal/jpegcodec"
 	"repro/internal/pipeline"
@@ -59,6 +79,22 @@ type Gray = imgutil.Gray
 
 // QuantTable is a 64-entry JPEG quantization table in row-major order.
 type QuantTable = qtable.Table
+
+// Transform selects the 8×8 block-transform engine the codec runs. Both
+// engines compute the same orthonormal DCT; they differ in operation
+// count, and their floating-point differences are absorbed by
+// quantization, so encoded streams are byte-identical across engines
+// (see the transform equivalence tests).
+type Transform = dct.Transform
+
+const (
+	// TransformNaive is the separable row–column DCT, the compatibility
+	// default.
+	TransformNaive = dct.TransformNaive
+	// TransformAAN is the Arai–Agui–Nakajima fast DCT, roughly halving
+	// block-transform cost on both the encode and decode path.
+	TransformAAN = dct.TransformAAN
+)
 
 // NewImage allocates a zeroed color image.
 func NewImage(w, h int) *Image { return imgutil.NewRGB(w, h) }
@@ -85,6 +121,11 @@ type CalibrateConfig struct {
 	// up to floating-point rounding, which the test suite checks yields
 	// identical quantization tables.
 	Workers int
+	// Transform selects the block-transform engine the calibrated codec
+	// encodes with; TransformAAN is the fast path. Calibration statistics
+	// themselves always use the naive engine, so the derived tables are
+	// bit-identical across engine choices.
+	Transform Transform
 }
 
 // Codec is a calibrated DeepN-JPEG encoder/decoder.
@@ -109,6 +150,7 @@ func Calibrate(images []*Image, labels []int, cfg CalibrateConfig) (*Codec, erro
 		Chroma:         cfg.Chroma,
 		UsePaperParams: cfg.UsePaperParams,
 		Workers:        cfg.Workers,
+		Transform:      cfg.Transform,
 	})
 	if err != nil {
 		return nil, err
@@ -177,6 +219,14 @@ func (c *Codec) EncodeGrayBatch(ctx context.Context, imgs []*Gray, opts BatchOpt
 	})
 }
 
+// DecodeOptions configures the decode-side APIs.
+type DecodeOptions struct {
+	// Transform selects the inverse block-transform engine used for
+	// pixel reconstruction; TransformAAN is the fast path. Engines agree
+	// within one grey level (they differ only in IDCT rounding).
+	Transform Transform
+}
+
 // DecodeBatch decodes a batch of baseline JFIF/JPEG streams concurrently
 // under the same contract as EncodeBatch: out[i] decodes streams[i],
 // failed items stay nil and surface through a *BatchError.
@@ -186,20 +236,60 @@ func DecodeBatch(ctx context.Context, streams [][]byte, opts BatchOptions) ([]*I
 	})
 }
 
+// DecodeBatchInto is DecodeBatch with explicit decode options and
+// optional output reuse: when dst is non-nil it must have one entry per
+// stream (entries may be nil), item i decodes into dst[i]'s buffers, and
+// dst itself is returned. A transcode loop that keeps its dst slice
+// across batches therefore stops paying per-image output allocations.
+// Items that fail decode leave their dst entry untouched and surface
+// through a *BatchError, as in DecodeBatch.
+func DecodeBatchInto(ctx context.Context, streams [][]byte, dst []*Image, opts BatchOptions, dopts DecodeOptions) ([]*Image, error) {
+	if dst == nil {
+		dst = make([]*Image, len(streams))
+	} else if len(dst) != len(streams) {
+		return nil, fmt.Errorf("deepnjpeg: %d reuse buffers for %d streams", len(dst), len(streams))
+	}
+	err := pipeline.Run(ctx, len(streams), opts.Workers, func(_ context.Context, i int) error {
+		img, err := DecodeInto(dst[i], streams[i], dopts)
+		if err != nil {
+			return err
+		}
+		dst[i] = img
+		return nil
+	})
+	return dst, err
+}
+
+// decodedPool recycles the intermediate Decoded working sets behind
+// Decode/DecodeInto/DecodeGray: only the final image escapes to the
+// caller, so planes, coefficient grids and table maps are reused across
+// calls (and across workers — each concurrent decode checks out its own).
+var decodedPool = sync.Pool{New: func() any { return new(jpegcodec.Decoded) }}
+
 // Decode parses any baseline JFIF/JPEG stream into a color image.
 func Decode(data []byte) (*Image, error) {
-	dec, err := jpegcodec.Decode(bytes.NewReader(data))
-	if err != nil {
+	return DecodeInto(nil, data, DecodeOptions{})
+}
+
+// DecodeInto is Decode with explicit options, reusing dst's pixel buffer
+// when its capacity suffices. A nil dst allocates a fresh image; the
+// decoded image is returned either way. On error dst is unchanged.
+func DecodeInto(dst *Image, data []byte, opts DecodeOptions) (*Image, error) {
+	dec := decodedPool.Get().(*jpegcodec.Decoded)
+	defer decodedPool.Put(dec)
+	jopts := jpegcodec.DecodeOptions{Transform: opts.Transform}
+	if err := jpegcodec.DecodeInto(bytes.NewReader(data), dec, &jopts); err != nil {
 		return nil, err
 	}
-	return dec.RGB(), nil
+	return dec.RGBInto(dst), nil
 }
 
 // DecodeGray parses a baseline JFIF/JPEG stream and returns its luma
 // plane.
 func DecodeGray(data []byte) (*Gray, error) {
-	dec, err := jpegcodec.Decode(bytes.NewReader(data))
-	if err != nil {
+	dec := decodedPool.Get().(*jpegcodec.Decoded)
+	defer decodedPool.Put(dec)
+	if err := jpegcodec.DecodeInto(bytes.NewReader(data), dec, nil); err != nil {
 		return nil, err
 	}
 	return dec.Gray(), nil

@@ -125,6 +125,16 @@ func NewRawReader(r io.ByteReader) *Reader {
 	return &Reader{r: r, stuff: false}
 }
 
+// Reset discards all buffered bits and any pending marker and redirects
+// the Reader to r, keeping the stuffing mode. It lets callers pool
+// Readers across entropy-coded segments.
+func (br *Reader) Reset(r io.ByteReader) {
+	br.r = r
+	br.acc = 0
+	br.nacc = 0
+	br.marker = 0
+}
+
 // ReadBits reads n bits (n ≤ 24) MSB-first and returns them in the low bits
 // of the result. It returns ErrMarker when a JPEG marker interrupts the
 // stream and io.EOF at end of input.

@@ -52,6 +52,11 @@ type CalibrateOptions struct {
 	// accumulators merge in worker order, so a given worker count always
 	// produces the same result regardless of goroutine scheduling.
 	Workers int
+	// Transform selects the block-transform engine the calibrated scheme
+	// encodes with (dct.TransformNaive by default, dct.TransformAAN for
+	// the fast path). Calibration statistics always use the naive engine
+	// so tables stay bit-identical across engine choices.
+	Transform dct.Transform
 }
 
 // Framework is a calibrated DeepN-JPEG instance.
@@ -62,13 +67,17 @@ type Framework struct {
 	ChromaStats  *freqstat.Stats // nil unless calibrated
 	LumaTable    qtable.Table
 	ChromaTable  qtable.Table
-	SampledCount int // images used for calibration
+	SampledCount int           // images used for calibration
+	Transform    dct.Transform // block-transform engine for Scheme()
 }
 
 // Calibrate runs the full design flow on a labeled dataset.
 func Calibrate(ds *dataset.Dataset, opts CalibrateOptions) (*Framework, error) {
 	if ds.Len() == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if !opts.Transform.Valid() {
+		return nil, fmt.Errorf("core: unknown transform engine %d", opts.Transform)
 	}
 	if opts.Anchors == (plm.Anchors{}) {
 		opts.Anchors = plm.PaperAnchors()
@@ -83,7 +92,7 @@ func Calibrate(ds *dataset.Dataset, opts CalibrateOptions) (*Framework, error) {
 		return nil, fmt.Errorf("core: luma statistics: %w", err)
 	}
 
-	f := &Framework{Stats: stats, SampledCount: len(idx)}
+	f := &Framework{Stats: stats, SampledCount: len(idx), Transform: opts.Transform}
 	if opts.PositionBased {
 		f.Seg = freqstat.SegmentByPosition()
 		// Positional segmentation has no natural δ thresholds; take them
@@ -215,6 +224,7 @@ func (f *Framework) Scheme() Scheme {
 	return Scheme{Name: "deepn-jpeg", Opts: jpegcodec.Options{
 		LumaTable:   f.LumaTable,
 		ChromaTable: f.ChromaTable,
+		Transform:   f.Transform,
 	}}
 }
 

@@ -5,8 +5,12 @@
 //	F(u,v) = ¼·C(u)·C(v)·Σₓ Σ_y f(x,y)·cos((2x+1)uπ/16)·cos((2y+1)vπ/16)
 //
 // with C(0)=1/√2 and C(k)=1 otherwise. Three implementations are provided:
-// a direct O(N⁴) reference used as a test oracle, and a separable
-// row–column transform used by the codec (Forward/Inverse).
+// a direct O(N⁴) reference used as a test oracle, a separable row–column
+// transform (Forward/Inverse), and the Arai–Agui–Nakajima fast transform
+// (ForwardAAN/InverseAAN). The codec selects between the latter two
+// through the Transform engine enum (TransformNaive, TransformAAN); all
+// engines compute the same orthonormal transform and differ only in
+// floating-point rounding at the ~1e-12 level.
 package dct
 
 import "math"

@@ -122,7 +122,19 @@ func GrayPlanes(g *Gray) *Planes {
 // ToRGB converts YCbCr planes back to interleaved RGB. Grayscale plane sets
 // replicate luma into all three channels.
 func (p *Planes) ToRGB() *RGB {
-	im := NewRGB(p.W, p.H)
+	return p.ToRGBInto(nil)
+}
+
+// ToRGBInto is ToRGB writing into dst, reusing dst's pixel buffer when
+// its capacity suffices. A nil dst allocates a fresh image; the written
+// image is returned either way.
+func (p *Planes) ToRGBInto(dst *RGB) *RGB {
+	im := dst
+	if im == nil {
+		im = &RGB{}
+	}
+	im.W, im.H = p.W, p.H
+	im.Pix = GrowBytes(im.Pix, 3*p.W*p.H)
 	n := p.W * p.H
 	for i := 0; i < n; i++ {
 		y := float64(p.Y[i])
@@ -173,7 +185,13 @@ func Downsample2x2Into(dst, pix []uint8, w, h int) (out []uint8, ow, oh int) {
 // Upsample2x2 expands a plane by 2 in each dimension using sample
 // replication (the baseline JPEG "box" upsampler).
 func Upsample2x2(pix []uint8, w, h, ow, oh int) []uint8 {
-	out := make([]uint8, ow*oh)
+	return Upsample2x2Into(nil, pix, w, h, ow, oh)
+}
+
+// Upsample2x2Into is Upsample2x2 writing into dst, reusing its backing
+// array when the capacity suffices.
+func Upsample2x2Into(dst, pix []uint8, w, h, ow, oh int) []uint8 {
+	out := GrowBytes(dst, ow*oh)
 	for y := 0; y < oh; y++ {
 		sy := min(y/2, h-1)
 		for x := 0; x < ow; x++ {

@@ -1,12 +1,13 @@
 package jpegcodec
 
-// Allocation-regression tests for the pooled encode path. Before the
-// sync.Pool scratch landed, every encode allocated its YCbCr planes,
-// subsampled chroma, per-component coefficient grids and entropy
-// buffers — hundreds of allocations and ~100 KB per 64×64 image. The
-// pooled steady state must stay down to the handful of small marker
-// slices the stream emission makes. Bounds are deliberately loose
-// (~2× observed) so they catch a lost pool, not allocator noise.
+// Allocation-regression tests for the pooled encode and decode paths.
+// Before the sync.Pool scratch landed, every encode allocated its YCbCr
+// planes, subsampled chroma, per-component coefficient grids and entropy
+// buffers — hundreds of allocations and ~100 KB per 64×64 image — and
+// every decode re-allocated its parse state and output working set. The
+// pooled steady states must stay down to the handful of small slices
+// that genuinely escape. Bounds are deliberately loose (~2–4× observed)
+// so they catch a lost pool, not allocator noise.
 
 import (
 	"bytes"
@@ -69,10 +70,11 @@ func TestEncodeGrayAllocsSteadyState(t *testing.T) {
 	}
 }
 
-// TestDecodeAllocsBounded keeps the decoder honest too: its output
-// (planes, coefficient grids) must be allocated fresh — it escapes to
-// the caller — but the per-call overhead beyond that should stay small
-// and, above all, must not scale with repeated use.
+// TestDecodeAllocsBounded keeps the fresh-decode path honest: its output
+// (planes, coefficient grids, the Decoded itself) must be allocated
+// fresh — it escapes to the caller — but with the decoder parse state
+// pooled, that output is all that remains. Before the pooled decoder the
+// same loop made ~100 allocs/op; it now makes ~10.
 func TestDecodeAllocsBounded(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are skewed under -race")
@@ -92,7 +94,71 @@ func TestDecodeAllocsBounded(t *testing.T) {
 	}
 	allocs := testing.AllocsPerRun(50, decode)
 	t.Logf("Decode: %.1f allocs/op", allocs)
-	if allocs > 120 {
-		t.Fatalf("Decode makes %.1f allocs/op, want ≤ 120", allocs)
+	if allocs > 24 {
+		t.Fatalf("Decode makes %.1f allocs/op, want ≤ 24 (decoder pooling regressed)", allocs)
+	}
+}
+
+// TestDecodeIntoAllocsSteadyState mirrors the encode bounds for the
+// pooled decode path: with the destination's planes, coefficient grids
+// and table map reused and the decoder parse state drawn from the pool,
+// a steady-state DecodeInto must make no allocations at all (observed
+// 0.0; the bound leaves room for allocator noise only).
+func TestDecodeIntoAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	var buf bytes.Buffer
+	if err := EncodeRGB(&buf, allocTestImage(), nil); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+	var dec Decoded
+	r := bytes.NewReader(stream)
+	decode := func() {
+		r.Reset(stream)
+		if err := DecodeInto(r, &dec, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		decode() // warm the destination buffers and the decoder pool
+	}
+	allocs := testing.AllocsPerRun(100, decode)
+	t.Logf("pooled DecodeInto: %.1f allocs/op", allocs)
+	if allocs > 4 {
+		t.Fatalf("steady-state DecodeInto makes %.1f allocs/op, want ≤ 4 (decode pooling regressed)", allocs)
+	}
+}
+
+// TestDecodeIntoRGBIntoAllocsSteadyState extends the bound across pixel
+// reconstruction: reusing both the Decoded and the output image keeps
+// the full stream→RGB loop allocation-free at steady state.
+func TestDecodeIntoRGBIntoAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	var buf bytes.Buffer
+	if err := EncodeRGB(&buf, allocTestImage(), nil); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+	var dec Decoded
+	img := &imgutil.RGB{}
+	r := bytes.NewReader(stream)
+	decode := func() {
+		r.Reset(stream)
+		if err := DecodeInto(r, &dec, nil); err != nil {
+			t.Fatal(err)
+		}
+		img = dec.RGBInto(img)
+	}
+	for i := 0; i < 8; i++ {
+		decode()
+	}
+	allocs := testing.AllocsPerRun(100, decode)
+	t.Logf("pooled DecodeInto+RGBInto: %.1f allocs/op", allocs)
+	if allocs > 4 {
+		t.Fatalf("steady-state DecodeInto+RGBInto makes %.1f allocs/op, want ≤ 4", allocs)
 	}
 }

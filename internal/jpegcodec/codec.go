@@ -8,6 +8,8 @@
 package jpegcodec
 
 import (
+	"math"
+
 	"repro/internal/dct"
 	"repro/internal/qtable"
 )
@@ -68,6 +70,12 @@ type Options struct {
 	ZeroMask *qtable.ZeroMask
 	// RestartInterval inserts RSTn markers every n MCUs when > 0.
 	RestartInterval int
+	// Transform selects the block-transform engine for the forward DCT.
+	// The zero value (dct.TransformNaive) keeps the separable row–column
+	// path; dct.TransformAAN switches to the fast AAN butterfly. Both
+	// engines produce identical streams after quantization (see the
+	// transform equivalence tests).
+	Transform dct.Transform
 }
 
 // withDefaults fills in zero-valued tables.
@@ -97,23 +105,43 @@ type component struct {
 	table            qtable.Table // dequantization table (decoder)
 }
 
+// quantizeTieEps is the half-width of the rounding-boundary snap band in
+// quantize. The transform engines agree to ~1e-12 per coefficient, so any
+// value within 1e-9 of a rounding boundary is treated as sitting exactly
+// on it; without the snap, a coefficient whose exact value lands on a
+// boundary (possible for the rational bands u,v ∈ {0,4}) could round
+// differently under the two engines and break stream equivalence.
+const quantizeTieEps = 1e-9
+
 // quantize rounds coef/step half away from zero, the quantizer in T.81 and
-// Eq. (1) of the paper's JPEG description.
+// Eq. (1) of the paper's JPEG description. Ties within quantizeTieEps of
+// the boundary round deterministically away from zero regardless of which
+// transform engine produced c.
 func quantize(c float64, q uint16) int32 {
 	v := c / float64(q)
-	if v >= 0 {
-		return int32(v + 0.5)
+	neg := v < 0
+	if neg {
+		v = -v
 	}
-	return int32(v - 0.5)
+	r := v + 0.5
+	m := math.Floor(r)
+	if r-m > 1-quantizeTieEps {
+		m++
+	}
+	out := int32(m)
+	if neg {
+		out = -out
+	}
+	return out
 }
 
 // blockCoefficients runs the forward path for one 8×8 tile: level shift,
-// DCT, quantization, and optional zero-masking. samples is the tile in
-// row-major order; the result is in natural order.
-func blockCoefficients(samples *[64]uint8, tbl *qtable.Table, mask *qtable.ZeroMask) [64]int32 {
+// DCT under the selected engine, quantization, and optional zero-masking.
+// samples is the tile in row-major order; the result is in natural order.
+func blockCoefficients(samples *[64]uint8, tbl *qtable.Table, mask *qtable.ZeroMask, xf dct.Transform) [64]int32 {
 	var blk dct.Block
 	dct.LevelShift(samples[:], &blk)
-	dct.Forward(&blk)
+	xf.Forward(&blk)
 	var out [64]int32
 	for i := 0; i < 64; i++ {
 		if mask != nil && mask[i] {
@@ -124,13 +152,14 @@ func blockCoefficients(samples *[64]uint8, tbl *qtable.Table, mask *qtable.ZeroM
 	return out
 }
 
-// reconstructBlock runs the inverse path: dequantize, IDCT, level unshift.
-func reconstructBlock(coefs *[64]int32, tbl *qtable.Table, dst *[64]uint8) {
+// reconstructBlock runs the inverse path: dequantize, IDCT under the
+// selected engine, level unshift.
+func reconstructBlock(coefs *[64]int32, tbl *qtable.Table, dst *[64]uint8, xf dct.Transform) {
 	var blk dct.Block
 	for i := 0; i < 64; i++ {
 		blk[i] = float64(coefs[i]) * float64(tbl[i])
 	}
-	dct.Inverse(&blk)
+	xf.Inverse(&blk)
 	dct.LevelUnshift(&blk, dst[:])
 }
 

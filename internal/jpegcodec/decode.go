@@ -7,12 +7,16 @@ import (
 	"io"
 
 	"repro/internal/bitio"
+	"repro/internal/dct"
 	"repro/internal/imgutil"
 	"repro/internal/qtable"
 )
 
 // Decoded holds the result of decoding a baseline JPEG stream together
-// with the coding metadata the DeepN-JPEG tooling inspects.
+// with the coding metadata the DeepN-JPEG tooling inspects. A Decoded can
+// be reused across decodes through DecodeInto, which recycles its planes,
+// coefficient grids and table map instead of reallocating them — the
+// allocation-free steady state batch transcode loops rely on.
 type Decoded struct {
 	W, H       int
 	Components int // 1 (grayscale) or 3 (YCbCr)
@@ -26,6 +30,9 @@ type Decoded struct {
 	blocksX [3]int
 	blocksY [3]int
 
+	// upCb, upCr hold upsampled chroma scratch reused by RGBInto.
+	upCb, upCr []uint8
+
 	// QuantTables holds the dequantization tables by table id.
 	QuantTables map[int]qtable.Table
 	// Sampling describes the chroma layout of 3-component images.
@@ -34,9 +41,38 @@ type Decoded struct {
 	RestartInterval int
 }
 
+// Reset clears the decoded content while keeping every allocated buffer
+// (planes, coefficient grids, table map, chroma scratch) for reuse by a
+// subsequent DecodeInto.
+func (d *Decoded) Reset() {
+	d.W, d.H, d.Components = 0, 0, 0
+	d.Sampling = 0
+	d.RestartInterval = 0
+	for i := range d.planes {
+		d.planes[i].w, d.planes[i].h = 0, 0
+		d.planes[i].pix = d.planes[i].pix[:0]
+		d.coefs[i] = d.coefs[i][:0]
+		d.blocksX[i], d.blocksY[i] = 0, 0
+	}
+	for k := range d.QuantTables {
+		delete(d.QuantTables, k)
+	}
+}
+
 // Gray returns the luma plane.
 func (d *Decoded) Gray() *imgutil.Gray {
-	g := imgutil.NewGray(d.planes[0].w, d.planes[0].h)
+	return d.GrayInto(nil)
+}
+
+// GrayInto copies the luma plane into dst, reusing dst's buffer when its
+// capacity suffices. A nil dst allocates a fresh image.
+func (d *Decoded) GrayInto(dst *imgutil.Gray) *imgutil.Gray {
+	g := dst
+	if g == nil {
+		g = &imgutil.Gray{}
+	}
+	g.W, g.H = d.planes[0].w, d.planes[0].h
+	g.Pix = imgutil.GrowBytes(g.Pix, g.W*g.H)
 	copy(g.Pix, d.planes[0].pix)
 	return g
 }
@@ -51,93 +87,170 @@ func (d *Decoded) Coefficients(i int) (blocks [][64]int32, blocksX, blocksY int)
 // RGB reconstructs a full-resolution color image, upsampling chroma when
 // needed. Grayscale sources replicate luma.
 func (d *Decoded) RGB() *imgutil.RGB {
+	return d.RGBInto(nil)
+}
+
+// RGBInto is RGB writing into dst, reusing dst's pixel buffer when its
+// capacity suffices; chroma upsampling scratch is cached on the Decoded.
+// A nil dst allocates a fresh image; the result is returned either way
+// and never aliases the Decoded's internal planes.
+func (d *Decoded) RGBInto(dst *imgutil.RGB) *imgutil.RGB {
 	if d.Components == 1 {
-		return d.Gray().ToRGB()
+		p := imgutil.Planes{W: d.planes[0].w, H: d.planes[0].h, Y: d.planes[0].pix, Grayscale: true}
+		return p.ToRGBInto(dst)
 	}
-	p := &imgutil.Planes{W: d.W, H: d.H, Y: d.planes[0].pix}
+	p := imgutil.Planes{W: d.W, H: d.H, Y: d.planes[0].pix}
 	if d.planes[1].w == d.W && d.planes[1].h == d.H {
 		p.Cb = d.planes[1].pix
 		p.Cr = d.planes[2].pix
 	} else {
-		p.Cb = imgutil.Upsample2x2(d.planes[1].pix, d.planes[1].w, d.planes[1].h, d.W, d.H)
-		p.Cr = imgutil.Upsample2x2(d.planes[2].pix, d.planes[2].w, d.planes[2].h, d.W, d.H)
+		d.upCb = imgutil.Upsample2x2Into(d.upCb, d.planes[1].pix, d.planes[1].w, d.planes[1].h, d.W, d.H)
+		d.upCr = imgutil.Upsample2x2Into(d.upCr, d.planes[2].pix, d.planes[2].w, d.planes[2].h, d.W, d.H)
+		p.Cb = d.upCb
+		p.Cr = d.upCr
 	}
-	return p.ToRGB()
+	return p.ToRGBInto(dst)
 }
 
-// decoder carries parsing state.
+// DecodeOptions configures Decode/DecodeInto.
+type DecodeOptions struct {
+	// Transform selects the inverse block-transform engine used to
+	// reconstruct pixels. The zero value (dct.TransformNaive) keeps the
+	// separable row–column path; dct.TransformAAN switches to the fast
+	// AAN butterfly. Engines agree within one grey level (IDCT rounding).
+	Transform dct.Transform
+}
+
+// decoder carries parsing state. Decoders are pooled: every field either
+// resets cheaply between streams (scalars, table pointers) or is a grown
+// buffer deliberately retained across decodes (payload, huffStore values).
 type decoder struct {
 	br    *bufio.Reader
-	quant map[int]qtable.Table
-	huff  [8]*decTable // index: class<<2 | id (baseline allows ids 0–3)
-	comps []*component
-	w, h  int
-	ri    int // restart interval in MCUs
+	bits  *bitio.Reader        // pooled entropy reader
+	quant map[int]qtable.Table // aliases dst.QuantTables during a run
+	dst   *Decoded
+	xf    dct.Transform
+
+	huff      [8]*decTable // index: class<<2 | id; nil until defined
+	huffStore [8]decTable  // backing storage, value buffers reused
+	comps     []*component // backed by compArr via compRefs
+	compArr   [3]component
+	compRefs  [3]*component
+	payload   []byte // reusable segment payload buffer
+	w, h      int
+	ri        int // restart interval in MCUs
 }
 
-// Decode parses a baseline sequential JFIF/JPEG stream. Progressive and
-// arithmetic-coded streams are rejected with an error.
+// release drops references to caller-owned memory and returns the
+// decoder to the pool.
+func (d *decoder) release() {
+	d.br = nil
+	d.bits.Reset(eofReader{})
+	d.quant = nil
+	d.dst = nil
+	d.xf = 0
+	d.huff = [8]*decTable{}
+	d.compArr = [3]component{}
+	d.compRefs = [3]*component{}
+	d.comps = nil
+	d.w, d.h, d.ri = 0, 0, 0
+	decoderPool.Put(d)
+}
+
+// Decode parses a baseline sequential JFIF/JPEG stream with default
+// options. Progressive and arithmetic-coded streams are rejected with an
+// error.
 func Decode(r io.Reader) (*Decoded, error) {
-	br := bufrPool.Get().(*bufio.Reader)
-	br.Reset(r)
-	defer func() {
-		br.Reset(eofReader{}) // drop the caller's reader before pooling
-		bufrPool.Put(br)
-	}()
-	d := &decoder{
-		br:    br,
-		quant: map[int]qtable.Table{},
-	}
-	return d.run()
-}
-
-func (d *decoder) run() (*Decoded, error) {
-	m, err := d.readMarkerByte()
-	if err != nil {
+	out := &Decoded{}
+	if err := DecodeInto(r, out, nil); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// DecodeInto parses a baseline sequential JFIF/JPEG stream into dst,
+// reusing dst's planes, coefficient grids and table map when their
+// capacity suffices. It is the allocation-free steady-state decode path:
+// a caller that decodes many streams through one (per-worker) Decoded
+// pays for output buffers once. On error dst's contents are unspecified.
+// A nil opts selects the defaults.
+func DecodeInto(r io.Reader, dst *Decoded, opts *DecodeOptions) error {
+	if dst == nil {
+		return errors.New("jpegcodec: DecodeInto needs a non-nil destination")
+	}
+	var o DecodeOptions
+	if opts != nil {
+		o = *opts
+	}
+	if !o.Transform.Valid() {
+		return fmt.Errorf("jpegcodec: unknown transform engine %d", o.Transform)
+	}
+	dst.Reset()
+	if dst.QuantTables == nil {
+		dst.QuantTables = map[int]qtable.Table{}
+	}
+
+	br := bufrPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	d := decoderPool.Get().(*decoder)
+	d.br = br
+	d.quant = dst.QuantTables
+	d.dst = dst
+	d.xf = o.Transform
+	err := d.run()
+	d.release()
+	br.Reset(eofReader{}) // drop the caller's reader before pooling
+	bufrPool.Put(br)
+	return err
+}
+
+func (d *decoder) run() error {
+	m, err := d.readMarkerByte()
+	if err != nil {
+		return err
+	}
 	if m != mSOI {
-		return nil, fmt.Errorf("jpegcodec: missing SOI, found %#02x", m)
+		return fmt.Errorf("jpegcodec: missing SOI, found %#02x", m)
 	}
 	for {
 		m, err := d.readMarkerByte()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		switch {
 		case m == mSOF0 || m == mSOF1:
 			if err := d.parseSOF(); err != nil {
-				return nil, err
+				return err
 			}
 		case m == mSOF2:
-			return nil, errors.New("jpegcodec: progressive JPEG not supported")
+			return errors.New("jpegcodec: progressive JPEG not supported")
 		case m >= 0xC3 && m <= 0xCF && m != mDHT && m != 0xC8:
-			return nil, fmt.Errorf("jpegcodec: unsupported frame type %#02x", m)
+			return fmt.Errorf("jpegcodec: unsupported frame type %#02x", m)
 		case m == mDQT:
 			if err := d.parseDQT(); err != nil {
-				return nil, err
+				return err
 			}
 		case m == mDHT:
 			if err := d.parseDHT(); err != nil {
-				return nil, err
+				return err
 			}
 		case m == mDRI:
 			if err := d.parseDRI(); err != nil {
-				return nil, err
+				return err
 			}
 		case m == mSOS:
 			if err := d.parseSOSAndScan(); err != nil {
-				return nil, err
+				return err
 			}
 			return d.finish()
 		case m == mEOI:
-			return nil, errors.New("jpegcodec: EOI before scan data")
+			return errors.New("jpegcodec: EOI before scan data")
 		case m == mSOI:
-			return nil, errors.New("jpegcodec: unexpected second SOI")
+			return errors.New("jpegcodec: unexpected second SOI")
 		default:
 			// APPn, COM and anything else with a length field: skip.
 			if err := d.skipSegment(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
@@ -161,16 +274,28 @@ func (d *decoder) readMarkerByte() (byte, error) {
 	return b, nil
 }
 
+// segmentPayload reads one marker segment body into the decoder's reused
+// payload buffer. The returned slice is valid until the next call.
 func (d *decoder) segmentPayload() ([]byte, error) {
-	var lenBuf [2]byte
-	if _, err := io.ReadFull(d.br, lenBuf[:]); err != nil {
+	// Length bytes are read individually: a stack buffer would escape
+	// into the io.ReadFull interface call and cost one allocation per
+	// marker segment.
+	b0, err := d.br.ReadByte()
+	if err != nil {
 		return nil, err
 	}
-	n := int(lenBuf[0])<<8 | int(lenBuf[1])
+	b1, err := d.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	n := int(b0)<<8 | int(b1)
 	if n < 2 {
 		return nil, fmt.Errorf("jpegcodec: segment length %d too small", n)
 	}
-	payload := make([]byte, n-2)
+	if cap(d.payload) < n-2 {
+		d.payload = make([]byte, n-2)
+	}
+	payload := d.payload[:n-2]
 	if _, err := io.ReadFull(d.br, payload); err != nil {
 		return nil, err
 	}
@@ -243,13 +368,15 @@ func (d *decoder) parseDHT() error {
 		if len(p) < 17+total {
 			return errors.New("jpegcodec: truncated DHT values")
 		}
-		spec.Values = append([]uint8(nil), p[17:17+total]...)
+		// decTable.init copies the values out before the payload buffer is
+		// reused, so the spec can reference it directly.
+		spec.Values = p[17 : 17+total]
 		p = p[17+total:]
-		tab, err := buildDecTable(&spec)
-		if err != nil {
+		idx := tc<<2 | th
+		if err := d.huffStore[idx].init(&spec); err != nil {
 			return err
 		}
-		d.huff[tc<<2|th] = tab
+		d.huff[idx] = &d.huffStore[idx]
 	}
 	return nil
 }
@@ -271,6 +398,9 @@ func (d *decoder) parseSOF() error {
 	if err != nil {
 		return err
 	}
+	if d.comps != nil {
+		return errors.New("jpegcodec: multiple SOF segments")
+	}
 	if len(p) < 6 {
 		return errors.New("jpegcodec: truncated SOF")
 	}
@@ -290,17 +420,19 @@ func (d *decoder) parseSOF() error {
 		return errors.New("jpegcodec: truncated SOF components")
 	}
 	for i := 0; i < n; i++ {
-		c := &component{
+		d.compArr[i] = component{
 			id: p[6+3*i],
 			h:  int(p[7+3*i] >> 4),
 			v:  int(p[7+3*i] & 0x0F),
 			tq: int(p[8+3*i]),
 		}
+		c := &d.compArr[i]
 		if c.h < 1 || c.h > 4 || c.v < 1 || c.v > 4 {
 			return fmt.Errorf("jpegcodec: bad sampling factors %dx%d", c.h, c.v)
 		}
-		d.comps = append(d.comps, c)
+		d.compRefs[i] = c
 	}
+	d.comps = d.compRefs[:n]
 	return nil
 }
 
@@ -369,13 +501,17 @@ func (d *decoder) parseSOSAndScan() error {
 	}
 	mcusX := (d.w + 8*maxH - 1) / (8 * maxH)
 	mcusY := (d.h + 8*maxV - 1) / (8 * maxV)
-	for _, c := range d.comps {
+	for i, c := range d.comps {
 		c.w = (d.w*c.h + maxH - 1) / maxH
 		c.hgt = (d.h*c.v + maxV - 1) / maxV
-		c.pix = make([]uint8, c.w*c.hgt)
 		c.blocksX = mcusX * c.h
 		c.blocksY = mcusY * c.v
-		c.coefs = make([][64]int32, c.blocksX*c.blocksY)
+		// Output buffers come from the destination so repeated DecodeInto
+		// calls reuse them; the scan overwrites every element.
+		c.pix = imgutil.GrowBytes(d.dst.planes[i].pix, c.w*c.hgt)
+		d.dst.planes[i].pix = c.pix
+		c.coefs = growCoefs(d.dst.coefs[i], c.blocksX*c.blocksY)
+		d.dst.coefs[i] = c.coefs
 		tbl, ok := d.quant[c.tq]
 		if !ok {
 			return fmt.Errorf("jpegcodec: missing quantization table %d", c.tq)
@@ -383,8 +519,9 @@ func (d *decoder) parseSOSAndScan() error {
 		c.table = tbl
 	}
 
-	br := bitio.NewReader(d.br)
-	prevDC := map[*component]int32{}
+	br := d.bits
+	br.Reset(d.br)
+	var prevDC [4]int32 // indexed by component position in comps
 	var tile [64]uint8
 	mcu := 0
 	for my := 0; my < mcusY; my++ {
@@ -397,11 +534,9 @@ func (d *decoder) parseSOSAndScan() error {
 				if m < mRST0 || m > mRST0+7 {
 					return fmt.Errorf("jpegcodec: expected RSTn, found %#02x", m)
 				}
-				for _, c := range d.comps {
-					prevDC[c] = 0
-				}
+				prevDC = [4]int32{}
 			}
-			for _, c := range d.comps {
+			for ci, c := range d.comps {
 				dcTab := d.huff[0<<2|c.td]
 				acTab := d.huff[1<<2|c.ta]
 				if dcTab == nil || acTab == nil {
@@ -409,14 +544,14 @@ func (d *decoder) parseSOSAndScan() error {
 				}
 				for vy := 0; vy < c.v; vy++ {
 					for vx := 0; vx < c.h; vx++ {
-						coefs, err := decodeBlock(br, dcTab, acTab, prevDC[c])
+						coefs, err := decodeBlock(br, dcTab, acTab, prevDC[ci])
 						if err != nil {
 							return err
 						}
-						prevDC[c] = coefs[0]
+						prevDC[ci] = coefs[0]
 						bx, by := mx*c.h+vx, my*c.v+vy
 						c.coefs[by*c.blocksX+bx] = coefs
-						reconstructBlock(&coefs, &c.table, &tile)
+						reconstructBlock(&coefs, &c.table, &tile, d.xf)
 						imgutil.StoreBlock(c.pix, c.w, c.hgt, bx, by, &tile)
 					}
 				}
@@ -473,14 +608,13 @@ func decodeBlock(br *bitio.Reader, dcTab, acTab *decTable, prevDC int32) ([64]in
 	return coefs, nil
 }
 
-func (d *decoder) finish() (*Decoded, error) {
-	out := &Decoded{
-		W:               d.w,
-		H:               d.h,
-		Components:      len(d.comps),
-		QuantTables:     d.quant,
-		RestartInterval: d.ri,
-	}
+// finish publishes the parsed state into the destination.
+func (d *decoder) finish() error {
+	out := d.dst
+	out.W = d.w
+	out.H = d.h
+	out.Components = len(d.comps)
+	out.RestartInterval = d.ri
 	if len(d.comps) == 3 {
 		if d.comps[0].h == 2 && d.comps[0].v == 2 {
 			out.Sampling = Sub420
@@ -496,5 +630,5 @@ func (d *decoder) finish() (*Decoded, error) {
 		out.blocksX[i] = c.blocksX
 		out.blocksY[i] = c.blocksY
 	}
-	return out, nil
+	return nil
 }

@@ -79,6 +79,9 @@ func EncodeGray(w io.Writer, img *imgutil.Gray, opts *Options) error {
 // optional Huffman optimization, then marker and scan emission. scratch
 // donates reusable coefficient grids and may be nil.
 func encode(w io.Writer, width, height int, comps []*component, o *Options, scratch *encScratch) error {
+	if !o.Transform.Valid() {
+		return fmt.Errorf("jpegcodec: unknown transform engine %d", o.Transform)
+	}
 	maxH, maxV := 1, 1
 	for _, c := range comps {
 		maxH = max(maxH, c.h)
@@ -105,7 +108,7 @@ func encode(w io.Writer, width, height int, comps []*component, o *Options, scra
 		for by := 0; by < c.blocksY; by++ {
 			for bx := 0; bx < c.blocksX; bx++ {
 				imgutil.ExtractBlock(c.pix, c.w, c.hgt, bx, by, &tile)
-				c.coefs[by*c.blocksX+bx] = blockCoefficients(&tile, tbl, o.ZeroMask)
+				c.coefs[by*c.blocksX+bx] = blockCoefficients(&tile, tbl, o.ZeroMask, o.Transform)
 			}
 		}
 	}

@@ -97,10 +97,20 @@ type decTable struct {
 
 // buildDecTable derives decoder tables from a spec.
 func buildDecTable(spec *HuffmanSpec) (*decTable, error) {
-	if err := spec.Validate(); err != nil {
+	t := &decTable{}
+	if err := t.init(spec); err != nil {
 		return nil, err
 	}
-	t := &decTable{values: append([]uint8(nil), spec.Values...)}
+	return t, nil
+}
+
+// init (re)derives the decoder tables from a spec in place, reusing t's
+// values buffer — the allocation-free path the pooled decoder relies on.
+func (t *decTable) init(spec *HuffmanSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	t.values = append(t.values[:0], spec.Values...)
 	code := int32(0)
 	k := int32(0)
 	for length := 1; length <= 16; length++ {
@@ -118,7 +128,7 @@ func buildDecTable(spec *HuffmanSpec) (*decTable, error) {
 		}
 		code <<= 1
 	}
-	return t, nil
+	return nil
 }
 
 // decode reads one symbol from the bit stream.

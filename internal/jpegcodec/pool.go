@@ -12,19 +12,22 @@ import (
 // This file holds the pooled per-call working set of the codec. Encoding
 // an image needs three YCbCr planes, subsampled chroma planes, one
 // coefficient array per component, a marker writer, and an entropy bit
-// writer — all of it scratch that dies with the call. Re-allocating it
-// per image dominates the allocation profile once the codec sits in a
-// batch pipeline's inner loop, so every piece is recycled through
-// sync.Pools, which also makes the encoder naturally worker-friendly:
-// each concurrent encode checks out its own scratch.
+// writer; decoding needs a buffered reader, an entropy bit reader,
+// segment payload and Huffman-table scratch — all of it state that dies
+// with the call. Re-allocating it per image dominates the allocation
+// profile once the codec sits in a batch pipeline's inner loop, so every
+// piece is recycled through sync.Pools, which also makes both directions
+// naturally worker-friendly: each concurrent encode or decode checks out
+// its own scratch. Decoder *output* (planes, coefficient grids) is the
+// caller's property and is recycled through DecodeInto instead.
 
 // encScratch is the reusable working set of one encode call.
 type encScratch struct {
-	planes imgutil.Planes      // full-resolution YCbCr conversion buffers
-	cb, cr []uint8             // 4:2:0 subsampled chroma buffers
-	coefs  [3][][64]int32      // per-component quantized coefficient grids
-	comps  [3]component        // component descriptors
-	refs   [3]*component       // backing array for the []*component slice
+	planes imgutil.Planes // full-resolution YCbCr conversion buffers
+	cb, cr []uint8        // 4:2:0 subsampled chroma buffers
+	coefs  [3][][64]int32 // per-component quantized coefficient grids
+	comps  [3]component   // component descriptors
+	refs   [3]*component  // backing array for the []*component slice
 }
 
 var encScratchPool = sync.Pool{New: func() any { return new(encScratch) }}
@@ -73,8 +76,18 @@ type eofReader struct{}
 
 func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
 
+func (eofReader) ReadByte() (byte, error) { return 0, io.EOF }
+
 // bufrPool recycles the decoder's buffered readers.
 var bufrPool = sync.Pool{New: func() any { return bufio.NewReaderSize(eofReader{}, 1<<12) }}
+
+// decoderPool recycles the decoder parse state: the entropy bit reader,
+// segment payload buffer, Huffman decode tables and component
+// descriptors. Output buffers are NOT pooled here — they belong to the
+// destination Decoded, which callers reuse through DecodeInto.
+var decoderPool = sync.Pool{New: func() any {
+	return &decoder{bits: bitio.NewReader(eofReader{})}
+}}
 
 // Standard Annex-K Huffman specs never change, so their derived encoder
 // tables are built once and shared by every non-optimized encode.

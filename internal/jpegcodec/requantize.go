@@ -16,7 +16,10 @@ import (
 //
 // The optional mask zeroes bands before recoding (the RM-HF transform).
 // Huffman optimization is honored via opts; subsampling always matches
-// the source stream.
+// the source stream. Because no pixels are touched, the output is
+// independent of Options.Transform — the engine choice only matters on
+// paths that run a DCT — but the option is still validated so a bad
+// configuration fails here exactly as it would on encode.
 func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Options) error {
 	if err := luma.Validate(); err != nil {
 		return fmt.Errorf("jpegcodec: requantize luma: %w", err)
@@ -30,15 +33,22 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 	if opts != nil {
 		o = *opts
 	}
+	if !o.Transform.Valid() {
+		return fmt.Errorf("jpegcodec: unknown transform engine %d", o.Transform)
+	}
 	o.LumaTable = luma
 	o.ChromaTable = chroma
 
-	// Rebuild encoder components from the decoded coefficient planes.
-	var comps []*component
+	// Rebuild encoder components from the decoded coefficient planes,
+	// drawing descriptors and coefficient grids from the pooled encoder
+	// scratch: requantization sits in the same batch loops as encode.
+	s := getEncScratch()
+	defer putEncScratch(s)
 	for i := 0; i < d.Components; i++ {
 		oldTbl, ok := d.QuantTables[0]
 		newTbl := &luma
-		c := &component{id: uint8(i + 1), h: 1, v: 1, tq: 0, td: 0, ta: 0}
+		s.comps[i] = component{id: uint8(i + 1), h: 1, v: 1, tq: 0, td: 0, ta: 0}
+		c := &s.comps[i]
 		if i > 0 {
 			oldTbl, ok = d.QuantTables[1]
 			newTbl = &chroma
@@ -55,24 +65,22 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 			return fmt.Errorf("jpegcodec: component %d has no coefficients", i)
 		}
 		c.blocksX, c.blocksY = bx, by
-		c.coefs = make([][64]int32, len(src))
+		c.coefs = growCoefs(s.coefs[i], len(src))
+		s.coefs[i] = c.coefs
 		for bi := range src {
+			var out [64]int32
 			for n := 0; n < 64; n++ {
 				if o.ZeroMask != nil && o.ZeroMask[n] {
 					continue
 				}
 				real := float64(src[bi][n]) * float64(oldTbl[n])
-				c.coefs[bi][n] = quantize(real, (*newTbl)[n])
+				out[n] = quantize(real, (*newTbl)[n])
 			}
+			c.coefs[bi] = out
 		}
-		comps = append(comps, c)
 	}
+	comps := s.components(d.Components)
 
-	maxH, maxV := 1, 1
-	for _, c := range comps {
-		maxH = max(maxH, c.h)
-		maxV = max(maxV, c.v)
-	}
 	mcusX := comps[0].blocksX / comps[0].h
 	mcusY := comps[0].blocksY / comps[0].v
 

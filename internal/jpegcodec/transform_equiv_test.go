@@ -1,0 +1,249 @@
+package jpegcodec
+
+// Transform-engine equivalence: the AAN fast DCT and the naive separable
+// DCT must be interchangeable without changing a single emitted byte.
+// Their floating-point outputs differ by ~1e-12 per coefficient, and the
+// tie-snapping quantizer rounds both sides of that difference to the same
+// integer, so streams — not just pixels — are required to be identical
+// for encode and requantize. Decode paths reconstruct pixels (no
+// quantizer downstream), so engines there may differ by one grey level
+// from IDCT rounding.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dct"
+	"repro/internal/qtable"
+)
+
+var bothEngines = []dct.Transform{dct.TransformNaive, dct.TransformAAN}
+
+// randTile fills an 8×8 sample tile with uniform noise — the worst case
+// for knife-edge quantizer ties, since integer-valued inputs make the
+// rational DCT bands (u,v ∈ {0,4}) land on exact multiples of 1/8.
+func randTile(rng *rand.Rand) [64]uint8 {
+	var tile [64]uint8
+	for i := range tile {
+		tile[i] = uint8(rng.Intn(256))
+	}
+	return tile
+}
+
+func TestBlockCoefficientsEngineEquivalence(t *testing.T) {
+	tables := []qtable.Table{
+		qtable.StdLuminance,
+		qtable.StdChrominance,
+		qtable.MustScale(qtable.StdLuminance, 100), // all-ones: maximal tie exposure
+		qtable.Uniform(16),
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 2000; trial++ {
+		tile := randTile(rng)
+		tbl := tables[trial%len(tables)]
+		naive := blockCoefficients(&tile, &tbl, nil, dct.TransformNaive)
+		aan := blockCoefficients(&tile, &tbl, nil, dct.TransformAAN)
+		if naive != aan {
+			for i := range naive {
+				if naive[i] != aan[i] {
+					t.Fatalf("trial %d: band %d quantizes to %d (naive) vs %d (aan)",
+						trial, i, naive[i], aan[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeEngineStreamEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"defaults-420", Options{}},
+		{"444", Options{Subsampling: Sub444}},
+		{"optimized-huffman", Options{OptimizeHuffman: true}},
+		{"restart", Options{RestartInterval: 2}},
+		{"qf100", Options{
+			LumaTable:   qtable.MustScale(qtable.StdLuminance, 100),
+			ChromaTable: qtable.MustScale(qtable.StdChrominance, 100),
+		}},
+	}
+	sizes := []struct{ w, h int }{{64, 64}, {17, 9}, {8, 8}, {33, 40}}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for si, sz := range sizes {
+				img := testImageRGB(sz.w, sz.h, int64(100+si))
+				optsNaive := tc.opts
+				optsNaive.Transform = dct.TransformNaive
+				optsAAN := tc.opts
+				optsAAN.Transform = dct.TransformAAN
+				a := encodeToBytes(t, img, &optsNaive)
+				b := encodeToBytes(t, img, &optsAAN)
+				if !bytes.Equal(a, b) {
+					t.Fatalf("%dx%d: engines emit different streams (%d vs %d bytes)",
+						sz.w, sz.h, len(a), len(b))
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeGrayEngineStreamEquivalence(t *testing.T) {
+	img := testImageGray(48, 31, 7)
+	var a, b bytes.Buffer
+	if err := EncodeGray(&a, img, &Options{Transform: dct.TransformNaive}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeGray(&b, img, &Options{Transform: dct.TransformAAN}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("gray engines emit different streams (%d vs %d bytes)", a.Len(), b.Len())
+	}
+}
+
+func TestRequantizeEngineStreamEquivalence(t *testing.T) {
+	img := testImageRGB(40, 40, 9)
+	stream := encodeToBytes(t, img, &Options{})
+	newLuma := qtable.MustScale(qtable.StdLuminance, 40)
+	newChroma := qtable.MustScale(qtable.StdChrominance, 40)
+	var outs [2][]byte
+	for i, xf := range bothEngines {
+		dec, err := Decode(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		opts := &Options{OptimizeHuffman: true, Transform: xf}
+		if err := Requantize(&buf, dec, newLuma, newChroma, opts); err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = buf.Bytes()
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("requantize engines emit different streams (%d vs %d bytes)",
+			len(outs[0]), len(outs[1]))
+	}
+}
+
+// TestDecodeEngineAgreement bounds the decode-side engine difference: the
+// same stream reconstructed under both IDCTs may differ only by the one
+// grey level that rounding can move.
+func TestDecodeEngineAgreement(t *testing.T) {
+	img := testImageRGB(56, 35, 13)
+	stream := encodeToBytes(t, img, &Options{})
+	var rgb [2][]uint8
+	for i, xf := range bothEngines {
+		var dec Decoded
+		if err := DecodeInto(bytes.NewReader(stream), &dec, &DecodeOptions{Transform: xf}); err != nil {
+			t.Fatal(err)
+		}
+		rgb[i] = dec.RGB().Pix
+	}
+	worst := 0
+	for i := range rgb[0] {
+		d := int(rgb[0][i]) - int(rgb[1][i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 1 {
+		t.Fatalf("decode engines disagree by up to %d grey levels", worst)
+	}
+}
+
+// TestDecodeIntoReuseMatchesFreshDecode drives one Decoded through a
+// sequence of different streams (shrinking and growing, color and gray)
+// and checks every reused decode against a fresh one.
+func TestDecodeIntoReuseMatchesFreshDecode(t *testing.T) {
+	streams := [][]byte{
+		encodeToBytes(t, testImageRGB(64, 48, 1), &Options{}),
+		encodeToBytes(t, testImageRGB(16, 16, 2), &Options{Subsampling: Sub444}),
+		encodeToBytes(t, testImageRGB(80, 24, 3), &Options{OptimizeHuffman: true}),
+	}
+	{
+		var buf bytes.Buffer
+		if err := EncodeGray(&buf, testImageGray(33, 57, 4), nil); err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, buf.Bytes())
+	}
+
+	var reused Decoded
+	for round := 0; round < 2; round++ {
+		for si, stream := range streams {
+			if err := DecodeInto(bytes.NewReader(stream), &reused, nil); err != nil {
+				t.Fatalf("round %d stream %d: %v", round, si, err)
+			}
+			fresh, err := Decode(bytes.NewReader(stream))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reused.W != fresh.W || reused.H != fresh.H || reused.Components != fresh.Components {
+				t.Fatalf("round %d stream %d: metadata %dx%d/%d, want %dx%d/%d",
+					round, si, reused.W, reused.H, reused.Components, fresh.W, fresh.H, fresh.Components)
+			}
+			if !bytes.Equal(reused.RGB().Pix, fresh.RGB().Pix) {
+				t.Fatalf("round %d stream %d: reused decode diverges from fresh decode", round, si)
+			}
+			for ci := 0; ci < fresh.Components; ci++ {
+				rc, rx, ry := reused.Coefficients(ci)
+				fc, fx, fy := fresh.Coefficients(ci)
+				if rx != fx || ry != fy || len(rc) != len(fc) {
+					t.Fatalf("round %d stream %d comp %d: grid %dx%d/%d, want %dx%d/%d",
+						round, si, ci, rx, ry, len(rc), fx, fy, len(fc))
+				}
+				for bi := range fc {
+					if rc[bi] != fc[bi] {
+						t.Fatalf("round %d stream %d comp %d block %d: coefficients diverge", round, si, ci, bi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeIntoRejectsBadInput covers the new API's argument checks.
+func TestDecodeIntoRejectsBadInput(t *testing.T) {
+	stream := encodeToBytes(t, testImageRGB(8, 8, 5), nil)
+	if err := DecodeInto(bytes.NewReader(stream), nil, nil); err == nil {
+		t.Fatal("nil destination must be rejected")
+	}
+	var dec Decoded
+	if err := DecodeInto(bytes.NewReader(stream), &dec, &DecodeOptions{Transform: dct.Transform(9)}); err == nil {
+		t.Fatal("invalid transform must be rejected")
+	}
+	if err := EncodeRGB(&bytes.Buffer{}, testImageRGB(8, 8, 6), &Options{Transform: dct.Transform(9)}); err == nil {
+		t.Fatal("encode must reject an invalid transform")
+	}
+	d2, err := Decode(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Requantize(&bytes.Buffer{}, d2, qtable.StdLuminance, qtable.StdChrominance,
+		&Options{Transform: dct.Transform(9)}); err == nil {
+		t.Fatal("requantize must reject an invalid transform")
+	}
+}
+
+// TestDecodedReset verifies Reset clears content but keeps capacity.
+func TestDecodedReset(t *testing.T) {
+	stream := encodeToBytes(t, testImageRGB(32, 32, 8), nil)
+	var dec Decoded
+	if err := DecodeInto(bytes.NewReader(stream), &dec, nil); err != nil {
+		t.Fatal(err)
+	}
+	pixCap := cap(dec.planes[0].pix)
+	dec.Reset()
+	if dec.W != 0 || dec.H != 0 || dec.Components != 0 || len(dec.QuantTables) != 0 {
+		t.Fatalf("Reset left metadata behind: %+v", dec)
+	}
+	if len(dec.planes[0].pix) != 0 || cap(dec.planes[0].pix) != pixCap {
+		t.Fatalf("Reset must keep buffer capacity (len=%d cap=%d, want 0/%d)",
+			len(dec.planes[0].pix), cap(dec.planes[0].pix), pixCap)
+	}
+}

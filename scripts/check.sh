@@ -1,10 +1,15 @@
 #!/bin/sh
-# Full pre-merge gate: vet, build, and the complete test suite under the
-# race detector. Equivalent to `make check` for environments without make.
+# Full pre-merge gate: gofmt, vet, build, and the complete test suite
+# under the race detector. Equivalent to `make check` for environments
+# without make.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+# Assignment first so a failing gofmt itself (missing binary, parse
+# error) aborts under set -e instead of vacuously passing the gate.
+unformatted=$(gofmt -l .)
+test -z "$unformatted"
 go vet ./...
 go build ./...
 go test -race ./...

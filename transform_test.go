@@ -1,0 +1,183 @@
+package deepnjpeg
+
+// Public-surface tests for the pluggable block-transform engine and the
+// decode reuse APIs: the fast engine must be invisible in the emitted
+// bytes (the interop golden images encode identically under both), and
+// the Into-variants must reproduce their allocating counterparts
+// exactly.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// transformCodecs calibrates one codec per engine on the same corpus;
+// the calibrated tables must be bit-identical because statistics always
+// run on the naive engine.
+func transformCodecs(t *testing.T) (naive, aan *Codec, images []*Image) {
+	t.Helper()
+	images, labels := calibrationSet(t)
+	var err error
+	naive, err = Calibrate(images, labels, CalibrateConfig{Chroma: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aan, err = Calibrate(images, labels, CalibrateConfig{Chroma: true, Transform: TransformAAN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return naive, aan, images
+}
+
+func TestTransformEnginesShareCalibratedTables(t *testing.T) {
+	naive, aan, _ := transformCodecs(t)
+	if naive.LumaTable() != aan.LumaTable() {
+		t.Fatal("luma tables differ across engines; calibration must be engine-independent")
+	}
+	if naive.ChromaTable() != aan.ChromaTable() {
+		t.Fatal("chroma tables differ across engines; calibration must be engine-independent")
+	}
+}
+
+// TestTransformEquivalenceOnInteropImages is the golden-image half of
+// the engine-equivalence property: every stream the interop suite
+// validates against the stdlib decoder must come out byte-identical
+// under the AAN engine, for both color and grayscale encodes.
+func TestTransformEquivalenceOnInteropImages(t *testing.T) {
+	naive, aan, images := transformCodecs(t)
+	for i, img := range images {
+		a, err := naive.Encode(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := aan.Encode(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("image %d: color streams differ across engines (%d vs %d bytes)", i, len(a), len(b))
+		}
+		g := toGray(img)
+		ga, err := naive.EncodeGray(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := aan.EncodeGray(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ga, gb) {
+			t.Fatalf("image %d: gray streams differ across engines (%d vs %d bytes)", i, len(ga), len(gb))
+		}
+	}
+}
+
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	naive, _, images := transformCodecs(t)
+	stream, err := naive.Encode(images[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh (nil dst), reused, and fast-engine decodes of the same stream.
+	got, err := DecodeInto(nil, stream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pix, want.Pix) {
+		t.Fatal("DecodeInto(nil) diverges from Decode")
+	}
+	reuse := NewImage(1, 1) // deliberately too small; must grow
+	got2, err := DecodeInto(reuse, stream, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != reuse {
+		t.Fatal("DecodeInto must return the reuse buffer it filled")
+	}
+	if !bytes.Equal(got2.Pix, want.Pix) {
+		t.Fatal("DecodeInto(reuse) diverges from Decode")
+	}
+	fast, err := DecodeInto(nil, stream, DecodeOptions{Transform: TransformAAN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0
+	for i := range want.Pix {
+		d := int(want.Pix[i]) - int(fast.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	// Same quantized coefficients; only IDCT rounding may differ.
+	if worst > 1 {
+		t.Fatalf("AAN decode differs from naive by up to %d levels", worst)
+	}
+}
+
+func TestDecodeBatchIntoMatchesDecodeBatch(t *testing.T) {
+	naive, _, images := transformCodecs(t)
+	streams, err := naive.EncodeBatch(context.Background(), images, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DecodeBatch(context.Background(), streams, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nil dst allocates, non-nil dst is reused and returned.
+	got, err := DecodeBatchInto(context.Background(), streams, nil, BatchOptions{}, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]*Image, len(streams))
+	for i := range dst {
+		dst[i] = NewImage(1, 1)
+	}
+	reused, err := DecodeBatchInto(context.Background(), streams, dst, BatchOptions{Workers: 2}, DecodeOptions{Transform: TransformAAN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(reused) != len(want) {
+		t.Fatalf("batch lengths diverge: %d/%d/%d", len(got), len(reused), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].Pix, want[i].Pix) {
+			t.Fatalf("item %d: DecodeBatchInto(nil dst) diverges from DecodeBatch", i)
+		}
+		if reused[i] != dst[i] {
+			t.Fatalf("item %d: DecodeBatchInto must fill the provided buffers", i)
+		}
+		worst := 0
+		for j := range want[i].Pix {
+			d := int(want[i].Pix[j]) - int(reused[i].Pix[j])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > 1 {
+			t.Fatalf("item %d: AAN batch decode differs by up to %d levels", i, worst)
+		}
+	}
+	// Mismatched reuse-slice length is an error, not a silent reallocation.
+	if _, err := DecodeBatchInto(context.Background(), streams, dst[:1], BatchOptions{}, DecodeOptions{}); err == nil {
+		t.Fatal("short dst slice must be rejected")
+	}
+}
+
+func TestCalibrateRejectsUnknownTransform(t *testing.T) {
+	images, labels := calibrationSet(t)
+	if _, err := Calibrate(images, labels, CalibrateConfig{Transform: Transform(9)}); err == nil {
+		t.Fatal("unknown transform engine must be rejected at calibration time")
+	}
+}
