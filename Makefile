@@ -1,15 +1,18 @@
 # Developer entry points for the DeepN-JPEG reproduction.
 #
-#   make check   # gofmt gate + vet + build + full test suite under the race detector
-#   make test    # plain test run (what tier-1 verification executes)
-#   make bench   # DCT/codec/pipeline benchmarks with allocation reporting
+#   make check       # gofmt gate + vet + build + race suite + fuzz smoke
+#   make test        # plain test run (what tier-1 verification executes)
+#   make bench       # DCT/codec/pipeline benchmarks with allocation reporting
+#   make serve-bench # requests/sec through the HTTP batch endpoint
+#   make fuzz-smoke  # short native-fuzz run of FuzzDecode/FuzzRequantize
 
 GO ?= go
 GOFMT ?= gofmt
+FUZZTIME ?= 5s
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench serve-bench fuzz-smoke
 
-check: fmt vet build race
+check: fmt vet build race fuzz-smoke
 
 fmt:
 	@out="$$($(GOFMT) -l .)" || exit 1; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -26,7 +29,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Native-fuzz smoke leg: a few seconds per target over the checked-in
+# corpus plus fresh mutations — catches decoder panics before CI does a
+# long run. go test only allows one -fuzz pattern per invocation.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/jpegcodec
+	$(GO) test -run '^$$' -fuzz '^FuzzRequantize$$' -fuzztime $(FUZZTIME) ./internal/jpegcodec
+
 bench:
 	$(GO) test -run XXX -bench 'Transform|ForwardAAN|InverseAAN' -benchmem ./internal/dct
 	$(GO) test -run XXX -bench 'Transform|DecodePooled|EncodeRGB420|DecodeRGB420' -benchmem ./internal/jpegcodec
 	$(GO) test -run XXX -bench 'EncodeBatch|DecodeBatch|CalibrateParallel|DeepNEncodeThroughput' -benchmem ./
+
+serve-bench:
+	$(GO) test -run XXX -bench 'ServeBatchEncode|ServeEncodeSingle' -benchmem ./internal/server

@@ -1,0 +1,113 @@
+package deepnjpeg
+
+// Allocation-regression bounds for the batch decode path, the public
+// sibling of the bounds in internal/jpegcodec/alloc_test.go. With
+// per-worker Decoded/Image reuse inside DecodeBatchInto, a steady-state
+// batch that reuses its dst slice pays only the fixed pipeline overhead
+// (worker goroutines, the per-call scratch slices) — nothing per item.
+// The bounds are deliberately ~2–4× observed so they catch a lost reuse
+// path, not allocator noise.
+
+import (
+	"context"
+	"testing"
+)
+
+func allocBatch(t *testing.T, n int) ([][]byte, *Codec) {
+	t.Helper()
+	codec, images := batchCodec(t)
+	streams := make([][]byte, n)
+	for i := range streams {
+		data, err := codec.Encode(images[i%len(images)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = data
+	}
+	return streams, codec
+}
+
+func TestDecodeBatchIntoAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	const items = 16
+	streams, _ := allocBatch(t, items)
+	ctx := context.Background()
+	opts := BatchOptions{Workers: 4}
+	dst := make([]*Image, len(streams))
+	decode := func() {
+		if _, err := DecodeBatchInto(ctx, streams, dst, opts, DecodeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		decode() // warm dst, the decoded pool and the codec scratch pools
+	}
+	allocs := testing.AllocsPerRun(50, decode)
+	t.Logf("steady-state DecodeBatchInto(%d items, 4 workers): %.1f allocs/op", items, allocs)
+	// Fixed per-call overhead only: out/err plumbing, 4 goroutines, the
+	// per-worker scratch slices. Anything O(items) means the per-worker
+	// reuse regressed (16 items × ~4 output allocs would blow this).
+	if allocs > 48 {
+		t.Fatalf("steady-state DecodeBatchInto makes %.1f allocs/op, want ≤ 48 (per-worker reuse regressed)", allocs)
+	}
+}
+
+// TestDecodeBatchAllocsPerItem bounds the convenience path: fresh output
+// images are the only per-item cost left.
+func TestDecodeBatchAllocsPerItem(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	const items = 16
+	streams, _ := allocBatch(t, items)
+	ctx := context.Background()
+	opts := BatchOptions{Workers: 4}
+	decode := func() {
+		if _, err := DecodeBatch(ctx, streams, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		decode()
+	}
+	allocs := testing.AllocsPerRun(30, decode)
+	perItem := allocs / items
+	t.Logf("DecodeBatch: %.1f allocs/op, %.2f per item", allocs, perItem)
+	// Each item may allocate its escaping output (struct + pixel buffer)
+	// and nothing else beyond the fixed call overhead.
+	if perItem > 6 {
+		t.Fatalf("DecodeBatch makes %.2f allocs per item, want ≤ 6 (output-only)", perItem)
+	}
+}
+
+func TestRequantizeBatchAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under -race")
+	}
+	const items = 16
+	streams, codec := allocBatch(t, items)
+	ctx := context.Background()
+	bopts := BatchOptions{Workers: 4}
+	ropts := RequantizeOptions{}
+	requantize := func() {
+		if _, err := codec.RequantizeBatch(ctx, streams, bopts, ropts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		requantize()
+	}
+	allocs := testing.AllocsPerRun(30, requantize)
+	perItem := allocs / items
+	t.Logf("RequantizeBatch: %.1f allocs/op, %.2f per item", allocs, perItem)
+	// Per item this is an entropy re-encode: the escaping output stream
+	// plus the encoder tail's small working set — the same ~40-alloc
+	// steady state the EncodeRGB bound in internal/jpegcodec pins. The
+	// decode side is fully reused per worker, so anything near
+	// O(image-size) (hundreds) means the pooling regressed.
+	if perItem > 64 {
+		t.Fatalf("RequantizeBatch makes %.2f allocs per item, want ≤ 64 (worker reuse regressed)", perItem)
+	}
+}

@@ -9,6 +9,7 @@
 //	deepn-jpeg requantize -in img.jpg -out out.jpg [-qf 60 | -deepn]     # alias: transcode
 //	deepn-jpeg requantize -in dir/ -out dir/ [-workers N] ...      # batch-requantize a directory
 //	deepn-jpeg inspect    -in img.jpg                               # tables + metadata
+//	deepn-jpeg serve      -addr :8080 [-api-keys k1:4,k2] [-workers N]   # HTTP codec service
 //
 // Calibration runs on the built-in SynthNet generator so the tool works
 // without external data; encode -deepn calibrates on the fly the same way.
@@ -17,20 +18,30 @@
 // batch pipeline; -workers sizes the pool (0 = GOMAXPROCS). -fast-dct
 // switches the block transform to the AAN fast engine: encoded streams
 // are byte-identical to the naive engine, just produced faster.
+//
+// serve exposes the codec over HTTP (POST /v1/encode, /v1/decode,
+// /v1/requantize, multipart /v1/batch, GET /healthz, /metrics) with
+// per-tenant concurrency limits; see the README for endpoint details and
+// curl examples.
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"image/png"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	deepnjpeg "repro"
@@ -59,6 +70,8 @@ func main() {
 		err = runRequantize(os.Args[2:])
 	case "inspect":
 		err = runInspect(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -72,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: deepn-jpeg <calibrate|encode|decode|requantize|inspect> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: deepn-jpeg <calibrate|encode|decode|requantize|inspect|serve> [flags]")
 }
 
 // runRequantize re-targets existing JPEGs in the coefficient domain — no
@@ -94,35 +107,29 @@ func runRequantize(args []string) error {
 	if *in == "" || *out == "" {
 		return fmt.Errorf("requantize needs -in and -out")
 	}
-	var luma, chroma qtable.Table
-	var err error
+	// Both table choices go through the public requantize API — the same
+	// code path (and pooled decoder scratch) the HTTP server dispatches
+	// to — so the CLI only decides which tables and does the file IO.
+	ropts := deepnjpeg.RequantizeOptions{OptimizeHuffman: *optimize}
+	var requant func(src []byte) ([]byte, error)
 	if *deepn {
-		train, _, err := dataset.Generate(dataset.Quick())
+		codec, err := synthNetCodec(deepnjpeg.CalibrateConfig{})
 		if err != nil {
 			return err
 		}
-		fw, err := core.Calibrate(train, core.CalibrateOptions{})
-		if err != nil {
-			return err
-		}
-		luma, chroma = fw.LumaTable, fw.ChromaTable
+		requant = func(src []byte) ([]byte, error) { return codec.Requantize(src, ropts) }
 	} else {
-		if luma, err = qtable.Scale(qtable.StdLuminance, *qf); err != nil {
-			return err
-		}
-		if chroma, err = qtable.Scale(qtable.StdChrominance, *qf); err != nil {
-			return err
-		}
+		target := *qf
+		requant = func(src []byte) ([]byte, error) { return deepnjpeg.RequantizeJPEG(src, target, ropts) }
 	}
-	opts := jpegcodec.Options{OptimizeHuffman: *optimize}
 	if st, err := os.Stat(*in); err == nil && st.IsDir() {
-		return requantizeDir(*in, *out, *workers, luma, chroma, opts)
+		return requantizeDir(*in, *out, *workers, requant)
 	}
 	src, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
-	n, err := requantizeStream(src, *out, luma, chroma, opts)
+	n, err := requantizeStream(src, *out, requant)
 	if err != nil {
 		return err
 	}
@@ -131,33 +138,33 @@ func runRequantize(args []string) error {
 	return nil
 }
 
-// decodedPool recycles the Decoded working sets of batch requantization;
-// coefficients stay inside requantizeStream, so planes and grids are
-// reused across images (and across workers).
-var decodedPool = sync.Pool{New: func() any { return new(jpegcodec.Decoded) }}
+// synthNetCodec calibrates a codec on the built-in SynthNet generator,
+// the stand-in dataset that keeps the tool usable without external data.
+func synthNetCodec(cfg deepnjpeg.CalibrateConfig) (*deepnjpeg.Codec, error) {
+	train, _, err := dataset.Generate(dataset.Quick())
+	if err != nil {
+		return nil, err
+	}
+	return deepnjpeg.Calibrate(train.Images, train.Labels, cfg)
+}
 
 // requantizeStream requantizes one in-memory JPEG onto outPath and
 // returns the output size.
-func requantizeStream(src []byte, outPath string, luma, chroma qtable.Table, opts jpegcodec.Options) (int, error) {
-	dec := decodedPool.Get().(*jpegcodec.Decoded)
-	defer decodedPool.Put(dec)
-	if err := jpegcodec.DecodeInto(bytes.NewReader(src), dec, nil); err != nil {
+func requantizeStream(src []byte, outPath string, requant func([]byte) ([]byte, error)) (int, error) {
+	out, err := requant(src)
+	if err != nil {
 		return 0, err
 	}
-	var buf bytes.Buffer
-	if err := jpegcodec.Requantize(&buf, dec, luma, chroma, &opts); err != nil {
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
 		return 0, err
 	}
-	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
-		return 0, err
-	}
-	return buf.Len(), nil
+	return len(out), nil
 }
 
 // requantizeDir batch-requantizes every JPEG in inDir onto outDir through
 // the concurrent pipeline, with the same output-collision detection and
 // partial-failure reporting as encodeDir.
-func requantizeDir(inDir, outDir string, workers int, luma, chroma qtable.Table, opts jpegcodec.Options) error {
+func requantizeDir(inDir, outDir string, workers int, requant func([]byte) ([]byte, error)) error {
 	inputs, err := listInputs(inDir, ".jpg", ".jpeg")
 	if err != nil {
 		return err
@@ -179,7 +186,7 @@ func requantizeDir(inDir, outDir string, workers int, luma, chroma qtable.Table,
 			return err
 		}
 		name := strings.TrimSuffix(inputs[i], filepath.Ext(inputs[i])) + ".jpg"
-		n, err := requantizeStream(src, filepath.Join(outDir, name), luma, chroma, opts)
+		n, err := requantizeStream(src, filepath.Join(outDir, name), requant)
 		if err != nil {
 			return err
 		}
@@ -553,4 +560,107 @@ func runInspect(args []string) error {
 		fmt.Printf("\nquantization table %d (mean step %.1f):\n%s", id, tbl.Mean(), tbl.String())
 	}
 	return nil
+}
+
+// parseTenants parses the -api-keys flag: comma-separated key[:limit]
+// entries, e.g. "edge-fleet:8,dashboard:2,backfill".
+func parseTenants(spec string, defaultLimit int) (map[string]deepnjpeg.TenantLimits, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	tenants := make(map[string]deepnjpeg.TenantLimits)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		key, limitStr, hasLimit := strings.Cut(entry, ":")
+		if key == "" {
+			return nil, fmt.Errorf("empty API key in -api-keys entry %q", entry)
+		}
+		limit := defaultLimit
+		if hasLimit {
+			n, err := strconv.Atoi(limitStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad in-flight limit in -api-keys entry %q", entry)
+			}
+			limit = n
+		}
+		if _, dup := tenants[key]; dup {
+			return nil, fmt.Errorf("duplicate API key %q in -api-keys", key)
+		}
+		tenants[key] = deepnjpeg.TenantLimits{MaxInFlight: limit}
+	}
+	return tenants, nil
+}
+
+// runServe calibrates a codec on SynthNet and serves it over HTTP until
+// SIGINT/SIGTERM, then drains in-flight requests before exiting.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	chroma := fs.Bool("chroma", false, "also calibrate a chroma table")
+	fastDCT := fs.Bool("fast-dct", false, "use the AAN fast DCT engine")
+	workers := fs.Int("workers", 0, "per-request batch worker-pool size (0 = GOMAXPROCS)")
+	maxBody := fs.Int64("max-body", 32<<20, "request body cap in bytes (413 beyond)")
+	maxPixels := fs.Int("max-pixels", 1<<24, "declared image dimension cap in pixels")
+	maxBatch := fs.Int("max-batch-items", 256, "part-count cap of one /v1/batch request")
+	maxInFlight := fs.Int("max-in-flight", 16, "per-tenant concurrent request cap (429 beyond)")
+	apiKeys := fs.String("api-keys", "", "comma-separated key[:limit] tenants (empty = open access)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tenants, err := parseTenants(*apiKeys, *maxInFlight)
+	if err != nil {
+		return err
+	}
+	cfg := deepnjpeg.CalibrateConfig{Chroma: *chroma}
+	if *fastDCT {
+		cfg.Transform = deepnjpeg.TransformAAN
+	}
+	codec, err := synthNetCodec(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := deepnjpeg.NewServer(codec, deepnjpeg.ServerOptions{
+		MaxBodyBytes:  *maxBody,
+		MaxPixels:     *maxPixels,
+		BatchWorkers:  *workers,
+		MaxBatchItems: *maxBatch,
+		Tenants:       tenants,
+		MaxInFlight:   *maxInFlight,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	access := "open access"
+	if len(tenants) > 0 {
+		access = fmt.Sprintf("%d tenant(s)", len(tenants))
+	}
+	fmt.Printf("deepn-jpeg serve: listening on %s (%s, batch workers=%d)\n",
+		l.Addr(), access, pipeline.Workers(*workers, -1))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "deepn-jpeg serve: draining in-flight requests")
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	if err := srv.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// Serve only returns ErrServerClosed once Shutdown has been called,
+	// so the drain goroutine is active: block until it finishes draining
+	// (or times out) before letting the process exit.
+	signal.Stop(sig)
+	return <-done
 }

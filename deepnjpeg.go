@@ -52,13 +52,41 @@
 // Decode-side buffers are reusable too: DecodeInto fills a caller-owned
 // image and DecodeBatchInto a caller-owned slice of them, making the
 // steady-state decode loop allocation-free on top of the pooled decoder
-// state every decode already shares.
+// state every decode already shares; the batch APIs additionally keep
+// one decoded working set per pool worker for the life of a batch.
+//
+// # Archive requantization
+//
+// Requantize, RequantizeBatch and their RequantizeJPEG counterparts
+// re-target existing baseline JPEG streams onto new tables entirely in
+// the coefficient domain — dequantize with the coded table, requantize
+// with the new one — skipping the IDCT→pixels→DCT round trip and its
+// second generation loss. This is how a storage system retrofits
+// DeepN-JPEG tables onto an archive of already-compressed images.
+//
+// # Serving over HTTP
+//
+// NewServer wraps a calibrated Codec in a multi-tenant HTTP service
+// (POST /v1/encode, /v1/decode, /v1/requantize, multipart /v1/batch,
+// GET /healthz and /metrics) that dispatches through the same pooled
+// hot paths as the batch API, with per-API-key concurrency limits and
+// request accounting:
+//
+//	srv, err := deepnjpeg.NewServer(codec, deepnjpeg.ServerOptions{})
+//	go srv.ListenAndServe(":8080")
+//	...
+//	err = srv.Shutdown(ctx) // graceful: drains in-flight requests
+//
+// The same service is reachable from the command line as
+// `deepn-jpeg serve`; see the README for endpoint and curl details.
 package deepnjpeg
 
 import (
 	"bytes"
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 
 	"repro/internal/core"
@@ -69,6 +97,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/plm"
 	"repro/internal/qtable"
+	"repro/internal/server"
 )
 
 // Image is an interleaved 8-bit RGB image.
@@ -225,15 +254,20 @@ type DecodeOptions struct {
 	// pixel reconstruction; TransformAAN is the fast path. Engines agree
 	// within one grey level (they differ only in IDCT rounding).
 	Transform Transform
+	// MaxPixels rejects streams whose declared width×height exceeds it
+	// (0 = unlimited). Set it when decoding untrusted bytes: the decoder
+	// sizes its working set from the header, so a tiny hostile stream can
+	// otherwise demand gigabytes.
+	MaxPixels int
 }
 
 // DecodeBatch decodes a batch of baseline JFIF/JPEG streams concurrently
 // under the same contract as EncodeBatch: out[i] decodes streams[i],
-// failed items stay nil and surface through a *BatchError.
+// failed items stay nil and surface through a *BatchError. Each pool
+// worker holds one Decoded working set for the whole batch, so only the
+// output images themselves are allocated per item.
 func DecodeBatch(ctx context.Context, streams [][]byte, opts BatchOptions) ([]*Image, error) {
-	return pipeline.Map(ctx, len(streams), opts.Workers, func(_ context.Context, i int) (*Image, error) {
-		return Decode(streams[i])
-	})
+	return DecodeBatchInto(ctx, streams, nil, opts, DecodeOptions{})
 }
 
 // DecodeBatchInto is DecodeBatch with explicit decode options and
@@ -249,12 +283,28 @@ func DecodeBatchInto(ctx context.Context, streams [][]byte, dst []*Image, opts B
 	} else if len(dst) != len(streams) {
 		return nil, fmt.Errorf("deepnjpeg: %d reuse buffers for %d streams", len(dst), len(streams))
 	}
-	err := pipeline.Run(ctx, len(streams), opts.Workers, func(_ context.Context, i int) error {
-		img, err := DecodeInto(dst[i], streams[i], dopts)
-		if err != nil {
+	jopts := jpegcodec.DecodeOptions{Transform: dopts.Transform, MaxPixels: dopts.MaxPixels}
+	// One Decoded and one reader per pool worker, checked out for the
+	// whole batch: items share their worker's parse state and planes
+	// instead of cycling them through the pool per stream.
+	nw := pipeline.Workers(opts.Workers, len(streams))
+	decs := make([]*jpegcodec.Decoded, nw)
+	rds := make([]*bytes.Reader, nw)
+	for w := range decs {
+		decs[w] = decodedPool.Get().(*jpegcodec.Decoded)
+		rds[w] = new(bytes.Reader)
+	}
+	defer func() {
+		for _, d := range decs {
+			decodedPool.Put(d)
+		}
+	}()
+	err := pipeline.RunWorker(ctx, len(streams), opts.Workers, func(_ context.Context, w, i int) error {
+		rds[w].Reset(streams[i])
+		if err := jpegcodec.DecodeInto(rds[w], decs[w], &jopts); err != nil {
 			return err
 		}
-		dst[i] = img
+		dst[i] = decs[w].RGBInto(dst[i])
 		return nil
 	})
 	return dst, err
@@ -277,7 +327,7 @@ func Decode(data []byte) (*Image, error) {
 func DecodeInto(dst *Image, data []byte, opts DecodeOptions) (*Image, error) {
 	dec := decodedPool.Get().(*jpegcodec.Decoded)
 	defer decodedPool.Put(dec)
-	jopts := jpegcodec.DecodeOptions{Transform: opts.Transform}
+	jopts := jpegcodec.DecodeOptions{Transform: opts.Transform, MaxPixels: opts.MaxPixels}
 	if err := jpegcodec.DecodeInto(bytes.NewReader(data), dec, &jopts); err != nil {
 		return nil, err
 	}
@@ -298,11 +348,7 @@ func DecodeGray(data []byte) (*Gray, error) {
 // EncodeJPEG compresses with the standard Annex-K tables at a quality
 // factor (the baseline DeepN-JPEG is compared against).
 func EncodeJPEG(img *Image, qf int) ([]byte, error) {
-	luma, err := qtable.Scale(qtable.StdLuminance, qf)
-	if err != nil {
-		return nil, err
-	}
-	chroma, err := qtable.Scale(qtable.StdChrominance, qf)
+	luma, chroma, err := stdTables(qf)
 	if err != nil {
 		return nil, err
 	}
@@ -313,6 +359,177 @@ func EncodeJPEG(img *Image, qf int) ([]byte, error) {
 	}
 	return buf.Bytes(), nil
 }
+
+// stdTables scales the Annex-K reference tables to a quality factor.
+func stdTables(qf int) (luma, chroma QuantTable, err error) {
+	if luma, err = qtable.Scale(qtable.StdLuminance, qf); err != nil {
+		return luma, chroma, err
+	}
+	chroma, err = qtable.Scale(qtable.StdChrominance, qf)
+	return luma, chroma, err
+}
+
+// RequantizeOptions configures the coefficient-domain requantization
+// APIs. The zero value emits standard Huffman tables and applies no
+// frame-size limit.
+type RequantizeOptions struct {
+	// OptimizeHuffman derives per-stream Huffman tables (two-pass),
+	// matching libjpeg's -optimize flag.
+	OptimizeHuffman bool
+	// MaxPixels rejects source frames larger than this (0 = unlimited),
+	// as in DecodeOptions.MaxPixels.
+	MaxPixels int
+}
+
+// Requantize re-targets an existing baseline JPEG stream onto the codec's
+// calibrated tables entirely in the coefficient domain: coefficients are
+// dequantized with the table they were coded with and requantized with
+// the calibrated one, skipping the IDCT→pixels→DCT round trip and its
+// second generation loss. This is how a storage system retrofits
+// DeepN-JPEG tables onto an archive of already-compressed JPEGs.
+func (c *Codec) Requantize(src []byte, opts RequantizeOptions) ([]byte, error) {
+	dec := decodedPool.Get().(*jpegcodec.Decoded)
+	defer decodedPool.Put(dec)
+	return requantizeInto(dec, src, c.fw.LumaTable, c.fw.ChromaTable, opts)
+}
+
+// RequantizeBatch requantizes a batch of JPEG streams onto the codec's
+// calibrated tables concurrently, under the batch contract of
+// EncodeBatch: out[i] requantizes streams[i], failed items stay nil and
+// surface through a *BatchError. Each pool worker reuses one decoded
+// working set for the whole batch.
+func (c *Codec) RequantizeBatch(ctx context.Context, streams [][]byte, bopts BatchOptions, opts RequantizeOptions) ([][]byte, error) {
+	return requantizeBatch(ctx, streams, c.fw.LumaTable, c.fw.ChromaTable, bopts, opts)
+}
+
+// RequantizeJPEG is Requantize onto the standard Annex-K tables scaled to
+// a quality factor — coefficient-domain re-targeting of an existing JPEG
+// without a calibrated codec.
+func RequantizeJPEG(src []byte, qf int, opts RequantizeOptions) ([]byte, error) {
+	luma, chroma, err := stdTables(qf)
+	if err != nil {
+		return nil, err
+	}
+	dec := decodedPool.Get().(*jpegcodec.Decoded)
+	defer decodedPool.Put(dec)
+	return requantizeInto(dec, src, luma, chroma, opts)
+}
+
+// RequantizeJPEGBatch is RequantizeBatch onto the standard Annex-K tables
+// scaled to a quality factor.
+func RequantizeJPEGBatch(ctx context.Context, streams [][]byte, qf int, bopts BatchOptions, opts RequantizeOptions) ([][]byte, error) {
+	luma, chroma, err := stdTables(qf)
+	if err != nil {
+		return nil, err
+	}
+	return requantizeBatch(ctx, streams, luma, chroma, bopts, opts)
+}
+
+// requantizeInto decodes src into dec and re-encodes its coefficients
+// under the given tables. dec's buffers are reused across calls.
+func requantizeInto(dec *jpegcodec.Decoded, src []byte, luma, chroma QuantTable, opts RequantizeOptions) ([]byte, error) {
+	dopts := jpegcodec.DecodeOptions{MaxPixels: opts.MaxPixels}
+	if err := jpegcodec.DecodeInto(bytes.NewReader(src), dec, &dopts); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	jopts := jpegcodec.Options{OptimizeHuffman: opts.OptimizeHuffman}
+	if err := jpegcodec.Requantize(&buf, dec, luma, chroma, &jopts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// requantizeBatch fans requantizeInto across the worker pool with one
+// Decoded working set per worker.
+func requantizeBatch(ctx context.Context, streams [][]byte, luma, chroma QuantTable, bopts BatchOptions, opts RequantizeOptions) ([][]byte, error) {
+	nw := pipeline.Workers(bopts.Workers, len(streams))
+	decs := make([]*jpegcodec.Decoded, nw)
+	for w := range decs {
+		decs[w] = decodedPool.Get().(*jpegcodec.Decoded)
+	}
+	defer func() {
+		for _, d := range decs {
+			decodedPool.Put(d)
+		}
+	}()
+	return pipeline.MapWorker(ctx, len(streams), bopts.Workers, func(_ context.Context, w, i int) ([]byte, error) {
+		return requantizeInto(decs[w], streams[i], luma, chroma, opts)
+	})
+}
+
+// TenantLimits configures one API key of a Server.
+type TenantLimits = server.TenantConfig
+
+// ServerOptions configures NewServer. The zero value serves open access
+// (no API keys) with conservative body/dimension/concurrency limits.
+type ServerOptions struct {
+	// MaxBodyBytes caps request bodies (default 32 MiB → 413 beyond).
+	MaxBodyBytes int64
+	// MaxPixels caps the declared dimensions of any image the server
+	// parses or decodes (default 1<<24), rejecting allocation bombs
+	// before a buffer is sized from a hostile header.
+	MaxPixels int
+	// BatchWorkers sizes the worker pool of one /v1/batch request;
+	// ≤ 0 selects GOMAXPROCS.
+	BatchWorkers int
+	// MaxBatchItems caps the part count of a /v1/batch request
+	// (default 256).
+	MaxBatchItems int
+	// Tenants maps API keys to per-tenant limits; empty serves open
+	// access through a single anonymous tenant.
+	Tenants map[string]TenantLimits
+	// MaxInFlight is the per-tenant concurrent-request cap used when a
+	// tenant doesn't set its own (default 16). Requests beyond the cap
+	// answer 429 immediately instead of queueing.
+	MaxInFlight int
+}
+
+// Server is the HTTP front end of a calibrated Codec: POST /v1/encode,
+// /v1/decode and /v1/requantize move single images, POST /v1/batch moves
+// many through the concurrent batch pipeline, and GET /healthz and
+// /metrics expose liveness and expvar-style accounting. Every request
+// dispatches through the same pooled codec hot paths as the Go batch
+// API; per-tenant concurrency gates keep one caller from starving the
+// rest. See the package README for the wire format and curl examples.
+type Server struct {
+	s *server.Server
+}
+
+// NewServer builds the HTTP service around the codec's calibrated
+// tables. The Codec stays usable (and safe) for direct calls while the
+// server runs.
+func NewServer(c *Codec, opts ServerOptions) (*Server, error) {
+	s, err := server.New(server.Options{
+		Framework:     c.fw,
+		MaxBodyBytes:  opts.MaxBodyBytes,
+		MaxPixels:     opts.MaxPixels,
+		BatchWorkers:  opts.BatchWorkers,
+		MaxBatchItems: opts.MaxBatchItems,
+		Tenants:       opts.Tenants,
+		MaxInFlight:   opts.MaxInFlight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{s: s}, nil
+}
+
+// Handler returns the route table for mounting under an external
+// http.Server (httptest, custom TLS, a shared mux).
+func (s *Server) Handler() http.Handler { return s.s.Handler() }
+
+// Serve accepts connections on l until Shutdown; it returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.s.Serve(l) }
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error { return s.s.ListenAndServe(addr) }
+
+// Shutdown gracefully stops Serve/ListenAndServe: the listener closes
+// immediately and in-flight requests run to completion (or until ctx
+// expires).
+func (s *Server) Shutdown(ctx context.Context) error { return s.s.Shutdown(ctx) }
 
 // PSNR computes peak signal-to-noise between two equal-size images.
 func PSNR(a, b *Image) (float64, error) {

@@ -119,6 +119,12 @@ type DecodeOptions struct {
 	// separable row–column path; dct.TransformAAN switches to the fast
 	// AAN butterfly. Engines agree within one grey level (IDCT rounding).
 	Transform dct.Transform
+	// MaxPixels rejects frames whose declared width×height exceeds it
+	// (0 = unlimited). The decoder sizes its planes and coefficient grids
+	// from the SOF header before any entropy data is read, so a tiny
+	// hostile stream can otherwise demand gigabytes; servers and fuzzers
+	// feeding untrusted bytes should always set a bound.
+	MaxPixels int
 }
 
 // decoder carries parsing state. Decoders are pooled: every field either
@@ -139,6 +145,7 @@ type decoder struct {
 	payload   []byte // reusable segment payload buffer
 	w, h      int
 	ri        int // restart interval in MCUs
+	maxPixels int // reject frames larger than this (0 = unlimited)
 }
 
 // release drops references to caller-owned memory and returns the
@@ -154,6 +161,7 @@ func (d *decoder) release() {
 	d.compRefs = [3]*component{}
 	d.comps = nil
 	d.w, d.h, d.ri = 0, 0, 0
+	d.maxPixels = 0
 	decoderPool.Put(d)
 }
 
@@ -197,6 +205,7 @@ func DecodeInto(r io.Reader, dst *Decoded, opts *DecodeOptions) error {
 	d.quant = dst.QuantTables
 	d.dst = dst
 	d.xf = o.Transform
+	d.maxPixels = o.MaxPixels
 	err := d.run()
 	d.release()
 	br.Reset(eofReader{}) // drop the caller's reader before pooling
@@ -416,6 +425,9 @@ func (d *decoder) parseSOF() error {
 	if d.w == 0 || d.h == 0 {
 		return errors.New("jpegcodec: zero frame dimensions")
 	}
+	if d.maxPixels > 0 && d.w*d.h > d.maxPixels {
+		return fmt.Errorf("jpegcodec: frame %dx%d exceeds the %d-pixel decode limit", d.w, d.h, d.maxPixels)
+	}
 	if len(p) < 6+3*n {
 		return errors.New("jpegcodec: truncated SOF components")
 	}
@@ -498,6 +510,13 @@ func (d *decoder) parseSOSAndScan() error {
 	for _, c := range d.comps {
 		maxH = max(maxH, c.h)
 		maxV = max(maxV, c.v)
+	}
+	// Every real encoder gives component 0 (luma) the maximum sampling
+	// factors; the pixel-reconstruction paths assume its plane is
+	// full-resolution, so reject the degenerate layouts where it is not.
+	if d.comps[0].h != maxH || d.comps[0].v != maxV {
+		return fmt.Errorf("jpegcodec: component 0 sampling %dx%d below frame maximum %dx%d",
+			d.comps[0].h, d.comps[0].v, maxH, maxV)
 	}
 	mcusX := (d.w + 8*maxH - 1) / (8 * maxH)
 	mcusY := (d.h + 8*maxV - 1) / (8 * maxV)

@@ -83,6 +83,16 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 
 	mcusX := comps[0].blocksX / comps[0].h
 	mcusY := comps[0].blocksY / comps[0].v
+	// The re-encoder only models 4:4:4, 4:2:0 and single-component
+	// layouts. A stream with other sampling factors (4:2:2, 4:1:1, …)
+	// decodes fine but its block grids would not tile the MCU geometry
+	// assumed above — reject it rather than index out of its grids.
+	for i, c := range comps {
+		if c.blocksX != mcusX*c.h || c.blocksY != mcusY*c.v {
+			return fmt.Errorf("jpegcodec: requantize: unsupported sampling geometry (component %d grid %d×%d does not tile %d×%d MCUs)",
+				i, c.blocksX, c.blocksY, mcusX, mcusY)
+		}
+	}
 
 	return encodeTail(w, d.W, d.H, comps, mcusX, mcusY, &o)
 }

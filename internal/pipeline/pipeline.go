@@ -94,6 +94,19 @@ func (e *BatchError) Unwrap() []error {
 // matches ctx.Err() via errors.Is, workers stop claiming new items, and
 // in-flight items run to completion.
 func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWorker(ctx, n, workers, func(ctx context.Context, _, i int) (T, error) {
+		return fn(ctx, i)
+	})
+}
+
+// MapWorker is Map for worker-aware callbacks: fn additionally receives
+// the index w ∈ [0, Workers(workers, n)) of the pool goroutine running
+// the item. Exactly one item is in flight per w at any time, so callers
+// can give each worker its own reusable state — scratch buffers, pooled
+// decoders — indexed by w, without any cross-worker synchronization.
+// Size such state with Workers(workers, n), the same normalization
+// MapWorker applies.
+func MapWorker[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, w, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, ctx.Err()
@@ -108,7 +121,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if ctx.Err() != nil {
@@ -118,7 +131,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 				if i >= n {
 					return
 				}
-				v, err := fn(ctx, i)
+				v, err := fn(ctx, w, i)
 				if err != nil {
 					mu.Lock()
 					items = append(items, &ItemError{Index: i, Err: err})
@@ -127,7 +140,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -151,6 +164,15 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	_, err := Map(ctx, n, workers, func(ctx context.Context, i int) (struct{}, error) {
 		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// RunWorker is Run with worker-aware callbacks, under the same per-worker
+// serialization guarantee as MapWorker.
+func RunWorker(ctx context.Context, n, workers int, fn func(ctx context.Context, w, i int) error) error {
+	_, err := MapWorker(ctx, n, workers, func(ctx context.Context, w, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, w, i)
 	})
 	return err
 }

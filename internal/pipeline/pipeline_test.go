@@ -221,6 +221,49 @@ func TestMapSharedStateRace(t *testing.T) {
 	}
 }
 
+// TestMapWorkerSerializesPerWorker pins the contract per-worker state
+// reuse relies on: worker indices stay in [0, Workers(...)), and no two
+// items ever run concurrently under the same worker index.
+func TestMapWorkerSerializesPerWorker(t *testing.T) {
+	const n, workers = 200, 4
+	var inFlight [workers]atomic.Int64
+	out, err := MapWorker(context.Background(), n, workers, func(_ context.Context, w, i int) (int, error) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of range [0,%d)", w, workers)
+		}
+		if inFlight[w].Add(1) != 1 {
+			t.Errorf("two items in flight on worker %d", w)
+		}
+		time.Sleep(time.Microsecond)
+		inFlight[w].Add(-1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunWorkerAggregatesErrors(t *testing.T) {
+	err := RunWorker(context.Background(), 10, 3, func(_ context.Context, w, i int) error {
+		if i%4 == 0 {
+			return fmt.Errorf("worker %d item %d", w, i)
+		}
+		return nil
+	})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not a *BatchError", err)
+	}
+	if len(be.Items) != 3 { // items 0, 4, 8
+		t.Fatalf("%d failed items, want 3", len(be.Items))
+	}
+}
+
 func TestBatchErrorMessage(t *testing.T) {
 	be := &BatchError{Items: []*ItemError{{Index: 2, Err: errors.New("x")}}}
 	if got := be.Error(); got != "pipeline: 1 item failed: item 2: x" {

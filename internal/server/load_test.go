@@ -1,0 +1,211 @@
+package server
+
+// Race-mode load test: several tenants hammer /v1/batch through real TCP
+// connections while the server shuts down gracefully underneath them.
+// Afterwards the process must be back to its goroutine baseline (the
+// goleak idiom, without the dependency) and every 200 response must have
+// carried order-preserving, golden-identical parts.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitForGoroutineBaseline polls until the goroutine count returns to
+// baseline (plus slack for runtime helpers), dumping stacks on timeout.
+func waitForGoroutineBaseline(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			var buf bytes.Buffer
+			pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			t.Fatalf("goroutines leaked: %d running, baseline %d\n%s", n, baseline, buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestBatchLoadWithGracefulShutdown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	fw := testFramework()
+	keys := []string{"key-a", "key-b", "key-c"}
+	tenants := make(map[string]TenantConfig, len(keys))
+	for _, k := range keys {
+		tenants[k] = TenantConfig{Name: "tenant-" + k, MaxInFlight: 3}
+	}
+	s, err := New(Options{Framework: fw, BatchWorkers: 2, Tenants: tenants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	baseURL := "http://" + l.Addr().String()
+
+	imgs := testImages(t, 4)
+	goldens := make([][]byte, len(imgs))
+	items := make([][]byte, len(imgs))
+	for i, img := range imgs {
+		items[i] = ppmBody(t, img)
+		want, err := fw.Scheme().EncodeRGB(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldens[i] = want
+	}
+	reqBody, reqCT := buildMultipart(t, items)
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 32}}
+	var (
+		wg             sync.WaitGroup
+		completed      atomic.Int64 // 200s, parts verified
+		rejected       atomic.Int64 // 429s at the tenant gate
+		shutdownSeen   atomic.Int64 // transport/5xx errors once draining
+		shuttingDown   atomic.Bool
+		perTenantOK    sync.Map // key → *atomic.Int64
+		goroutinesPerT = 4
+		requestsPerG   = 6
+	)
+	for _, key := range keys {
+		counter := new(atomic.Int64)
+		perTenantOK.Store(key, counter)
+		for g := 0; g < goroutinesPerT; g++ {
+			wg.Add(1)
+			go func(key string, counter *atomic.Int64) {
+				defer wg.Done()
+				for r := 0; r < requestsPerG; r++ {
+					req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/batch?op=encode",
+						bytes.NewReader(reqBody))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					req.Header.Set("Content-Type", reqCT)
+					req.Header.Set("X-API-Key", key)
+					resp, err := client.Do(req)
+					if err != nil {
+						// Once the listener is closed, refused/reset
+						// connections are the expected way to lose.
+						if shuttingDown.Load() {
+							shutdownSeen.Add(1)
+							return
+						}
+						t.Errorf("tenant %s: request failed before shutdown: %v", key, err)
+						return
+					}
+					data, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						if shuttingDown.Load() {
+							shutdownSeen.Add(1)
+							return
+						}
+						t.Errorf("tenant %s: reading response: %v", key, err)
+						return
+					}
+					switch resp.StatusCode {
+					case http.StatusOK:
+						parts := readMultipart(t, resp, data)
+						if len(parts) != len(items) {
+							t.Errorf("tenant %s: %d parts for %d items", key, len(parts), len(items))
+							return
+						}
+						for i, p := range parts {
+							if p.index != i {
+								t.Errorf("tenant %s: part %d carries index %d — order lost under load",
+									key, i, p.index)
+								return
+							}
+							if p.isError {
+								t.Errorf("tenant %s: item %d failed under load: %s", key, i, p.data)
+								return
+							}
+							if !bytes.Equal(p.data, goldens[i]) {
+								t.Errorf("tenant %s: item %d bytes differ from golden under load", key, i)
+								return
+							}
+						}
+						completed.Add(1)
+						counter.Add(1)
+					case http.StatusTooManyRequests:
+						rejected.Add(1)
+					default:
+						if !shuttingDown.Load() {
+							t.Errorf("tenant %s: unexpected status %d: %s", key, resp.StatusCode, data)
+							return
+						}
+						shutdownSeen.Add(1)
+					}
+				}
+			}(key, counter)
+		}
+	}
+
+	// Let the pools saturate, then pull the rug gracefully: in-flight
+	// requests must complete, later ones must fail fast, nothing hangs.
+	time.Sleep(100 * time.Millisecond)
+	shuttingDown.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	wg.Wait()
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	if completed.Load() == 0 {
+		t.Fatal("no batch request completed before shutdown — the load phase never ran")
+	}
+	t.Logf("load summary: %d completed, %d rejected (429), %d cut by shutdown",
+		completed.Load(), rejected.Load(), shutdownSeen.Load())
+
+	client.CloseIdleConnections()
+	waitForGoroutineBaseline(t, baseline)
+}
+
+// TestTenantGateRejectsDeterministically saturates a tenant's semaphore
+// white-box and proves the next request bounces with 429 and the JSON
+// envelope, without relying on load-test timing.
+func TestTenantGateRejectsDeterministically(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		Tenants: map[string]TenantConfig{"k": {Name: "small", MaxInFlight: 2}},
+	})
+	tn := s.tenants["k"]
+	if !tn.tryAcquire() || !tn.tryAcquire() {
+		t.Fatal("could not saturate the tenant gate")
+	}
+	defer tn.release()
+	defer tn.release()
+	if tn.tryAcquire() {
+		t.Fatal("gate admitted past its cap")
+	}
+	img := testImages(t, 1)[0]
+	resp, body := post(t, ts.URL+"/v1/encode", "", ppmBody(t, img),
+		map[string]string{"X-API-Key": "k"})
+	wantJSONError(t, resp, body, http.StatusTooManyRequests, "tenant_over_limit")
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	if got := tn.rejected.Value(); got != 2 {
+		t.Fatalf("rejected counter %d, want 2 (one white-box, one HTTP)", got)
+	}
+}

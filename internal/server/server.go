@@ -1,0 +1,919 @@
+// Package server implements the multi-tenant HTTP front end of the
+// DeepN-JPEG codec. The paper pitches the framework for large-scale
+// image transmission and storage between edge sensors and cloud DNN
+// inference; this package is the network boundary of that story: a
+// small JSON/HTTP service that dispatches every request through the
+// same pooled codec hot paths the batch API uses, with per-tenant
+// concurrency limits and request accounting so one caller cannot
+// starve the rest.
+//
+// Endpoints:
+//
+//	POST /v1/encode      raw image (PNG/PPM/PGM) → DeepN-JPEG stream
+//	POST /v1/decode      JPEG → PNG/PPM/PGM pixels
+//	POST /v1/requantize  JPEG → JPEG re-targeted in the coefficient domain
+//	POST /v1/batch       multipart: many items through the worker pool
+//	GET  /healthz        liveness + uptime
+//	GET  /metrics        expvar-style JSON counters
+//
+// Request options travel as query parameters (?quality=, ?transform=,
+// ?subsampling=, ?optimize=, ?format=); errors come back as structured
+// JSON ({"error":{"code","message"},"status"}). Authentication is a
+// static API-key table (X-API-Key or Authorization: Bearer); a server
+// constructed without keys runs open with a single anonymous tenant.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"image/png"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"net/textproto"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dct"
+	"repro/internal/imgutil"
+	"repro/internal/jpegcodec"
+	"repro/internal/pipeline"
+	"repro/internal/qtable"
+)
+
+// Options configures a Server. Framework is required; every other field
+// has a serving-safe default.
+type Options struct {
+	// Framework supplies the calibrated tables and default transform
+	// engine the unqualified encode/requantize paths use.
+	Framework *core.Framework
+	// MaxBodyBytes caps request bodies (default 32 MiB); larger bodies
+	// answer 413.
+	MaxBodyBytes int64
+	// MaxPixels caps the declared dimensions of any image the server
+	// decodes or parses (default 1<<24). A tiny hostile body can declare
+	// a multi-gigabyte frame; this bound rejects it before allocation.
+	MaxPixels int
+	// BatchWorkers sizes the worker pool of one /v1/batch request;
+	// ≤ 0 selects GOMAXPROCS.
+	BatchWorkers int
+	// MaxBatchItems caps the part count of a /v1/batch request
+	// (default 256).
+	MaxBatchItems int
+	// Tenants maps API keys to per-tenant limits. Empty means the server
+	// runs open: every request shares one anonymous tenant.
+	Tenants map[string]TenantConfig
+	// MaxInFlight is the per-tenant concurrent-request cap applied when
+	// a TenantConfig doesn't set its own (default 16).
+	MaxInFlight int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.MaxPixels <= 0 {
+		o.MaxPixels = 1 << 24
+	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = 256
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 16
+	}
+	return o
+}
+
+// Server is the HTTP codec service. Construct with New, mount Handler
+// (or call Serve/ListenAndServe), stop with Shutdown.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	tenants map[string]*tenant // keyed by API key
+	anon    *tenant            // the open-access tenant when no keys are set
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+
+	start time.Time
+
+	// Process-wide counters; per-tenant counts live on each tenant.
+	requests expvar.Int
+	rejected expvar.Int
+	failures expvar.Int
+	bytesIn  expvar.Int
+	bytesOut expvar.Int
+	inFlight expvar.Int
+	metrics  *expvar.Map // the whole /metrics document
+
+	// bufPool recycles response-sized scratch buffers across requests so
+	// the pooled, allocation-light codec paths survive the network
+	// boundary instead of drowning in per-request buffers.
+	bufPool sync.Pool
+	// decPool recycles decoder working sets for /v1/decode and
+	// /v1/requantize.
+	decPool sync.Pool
+	// imgPool recycles decoded RGB images; pixels are written to the
+	// response before the image returns to the pool.
+	imgPool sync.Pool
+}
+
+// New validates opts, fills defaults and builds the route table.
+func New(opts Options) (*Server, error) {
+	if opts.Framework == nil {
+		return nil, errors.New("server: Options.Framework is required")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		tenants: make(map[string]*tenant, len(opts.Tenants)),
+		start:   time.Now(),
+	}
+	s.bufPool.New = func() any { return new(bytes.Buffer) }
+	s.decPool.New = func() any { return new(jpegcodec.Decoded) }
+	s.imgPool.New = func() any { return new(imgutil.RGB) }
+
+	tenantVars := new(expvar.Map).Init()
+	for key, cfg := range opts.Tenants {
+		name := cfg.Name
+		if name == "" {
+			name = key
+		}
+		limit := cfg.MaxInFlight
+		if limit <= 0 {
+			limit = opts.MaxInFlight
+		}
+		t := newTenant(name, limit)
+		s.tenants[key] = t
+		tenantVars.Set(name, t.vars)
+	}
+	if len(s.tenants) == 0 {
+		s.anon = newTenant("anonymous", opts.MaxInFlight)
+		tenantVars.Set("anonymous", s.anon.vars)
+	}
+
+	m := new(expvar.Map).Init()
+	m.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(s.start).Seconds()
+	}))
+	m.Set("requests", &s.requests)
+	m.Set("rejected", &s.rejected)
+	m.Set("failures", &s.failures)
+	m.Set("bytes_in", &s.bytesIn)
+	m.Set("bytes_out", &s.bytesOut)
+	m.Set("in_flight", &s.inFlight)
+	m.Set("tenants", tenantVars)
+	s.metrics = m
+
+	s.mux.HandleFunc("/v1/encode", s.endpoint(s.handleEncode))
+	s.mux.HandleFunc("/v1/decode", s.endpoint(s.handleDecode))
+	s.mux.HandleFunc("/v1/requantize", s.endpoint(s.handleRequantize))
+	s.mux.HandleFunc("/v1/batch", s.endpoint(s.handleBatch))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the route table for mounting under an external
+// http.Server (httptest, custom TLS, shared mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
+	return srv.Serve(l)
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops a Serve/ListenAndServe server: the listener
+// closes immediately, in-flight requests run to completion (or until ctx
+// expires), and idle keep-alive connections are closed. A server that
+// never served is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// apiError is an error with an HTTP status and a stable machine code.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError emits the structured JSON error envelope every non-2xx
+// response uses.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": status,
+		"error":  map[string]string{"code": code, "message": msg},
+	})
+}
+
+// writeAPIError classifies err into the JSON envelope: apiErrors keep
+// their status, body-limit errors become 413, everything else 400 (the
+// codec only fails on bad input).
+func writeAPIError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		writeError(w, ae.status, ae.code, ae.msg)
+		return
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad_input", err.Error())
+}
+
+// statusWriter records the response status and body size for accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	n      int64
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.n += int64(n)
+	return n, err
+}
+
+// resolveTenant authenticates the request against the API-key table.
+func (s *Server) resolveTenant(r *http.Request) (*tenant, *apiError) {
+	if s.anon != nil {
+		return s.anon, nil
+	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			key = strings.TrimPrefix(auth, "Bearer ")
+		}
+	}
+	if key == "" {
+		return nil, errf(http.StatusUnauthorized, "missing_api_key",
+			"set X-API-Key or Authorization: Bearer <key>")
+	}
+	t, ok := s.tenants[key]
+	if !ok {
+		return nil, errf(http.StatusUnauthorized, "unknown_api_key", "API key not recognized")
+	}
+	return t, nil
+}
+
+// endpoint wraps a codec handler with the request lifecycle every /v1
+// route shares: POST-only, authentication, the tenant concurrency gate,
+// the body-size cap, and byte/status accounting.
+func (s *Server) endpoint(fn func(http.ResponseWriter, *http.Request, *tenant) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("%s only accepts POST", r.URL.Path))
+			return
+		}
+		t, ae := s.resolveTenant(r)
+		if ae != nil {
+			writeError(w, ae.status, ae.code, ae.msg)
+			return
+		}
+		if !t.tryAcquire() {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "tenant_over_limit",
+				fmt.Sprintf("tenant %q has reached its in-flight request limit", t.name))
+			return
+		}
+		defer t.release()
+		s.requests.Add(1)
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		sw := &statusWriter{ResponseWriter: w}
+		if err := fn(sw, r, t); err != nil {
+			if sw.status == 0 { // nothing written yet: emit the envelope
+				writeAPIError(sw, err)
+			}
+		}
+		if sw.status >= 400 {
+			s.failures.Add(1)
+			t.failed.Add(1)
+		}
+		s.bytesOut.Add(sw.n)
+		t.bytesOut.Add(sw.n)
+	}
+}
+
+// readBody drains the (size-capped) request body and accounts it.
+func (s *Server) readBody(r *http.Request, t *tenant) ([]byte, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	s.bytesIn.Add(int64(len(body)))
+	t.bytesIn.Add(int64(len(body)))
+	if len(body) == 0 {
+		return nil, errf(http.StatusBadRequest, "empty_body", "request body is empty")
+	}
+	return body, nil
+}
+
+// --- per-request option parsing -----------------------------------------
+
+func parseBoolParam(q url.Values, name string, def bool) (bool, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, errf(http.StatusBadRequest, "bad_"+name, "%s=%q is not a boolean", name, v)
+	}
+	return b, nil
+}
+
+func parseTransform(q url.Values, def dct.Transform) (dct.Transform, error) {
+	switch v := q.Get("transform"); v {
+	case "":
+		return def, nil
+	case "naive":
+		return dct.TransformNaive, nil
+	case "aan":
+		return dct.TransformAAN, nil
+	default:
+		return 0, errf(http.StatusBadRequest, "bad_transform",
+			"transform=%q is not one of naive, aan", v)
+	}
+}
+
+// parseQuality returns the quality factor and whether one was given at
+// all; absent means "use the calibrated DeepN-JPEG tables".
+func parseQuality(q url.Values) (int, bool, error) {
+	v := q.Get("quality")
+	if v == "" {
+		return 0, false, nil
+	}
+	qf, err := strconv.Atoi(v)
+	if err != nil || qf < 1 || qf > 100 {
+		return 0, false, errf(http.StatusBadRequest, "bad_quality",
+			"quality=%q must be an integer in [1,100]", v)
+	}
+	return qf, true, nil
+}
+
+// stdTablesFor scales the Annex-K reference tables to a quality factor,
+// mapping scaling failures onto the request-level error envelope.
+func stdTablesFor(qf int) (luma, chroma qtable.Table, err error) {
+	luma, lerr := qtable.Scale(qtable.StdLuminance, qf)
+	chroma, cerr := qtable.Scale(qtable.StdChrominance, qf)
+	if lerr != nil || cerr != nil {
+		return luma, chroma, errf(http.StatusBadRequest, "bad_quality", "cannot scale tables to quality %d", qf)
+	}
+	return luma, chroma, nil
+}
+
+// encodeOptions assembles the encoder configuration of one request:
+// calibrated tables by default, Annex-K tables when ?quality= is given.
+func (s *Server) encodeOptions(q url.Values) (jpegcodec.Options, error) {
+	opts := s.opts.Framework.Scheme().Opts
+	if qf, ok, err := parseQuality(q); err != nil {
+		return opts, err
+	} else if ok {
+		luma, chroma, terr := stdTablesFor(qf)
+		if terr != nil {
+			return opts, terr
+		}
+		opts.LumaTable, opts.ChromaTable = luma, chroma
+	}
+	var err error
+	if opts.Transform, err = parseTransform(q, opts.Transform); err != nil {
+		return opts, err
+	}
+	switch v := q.Get("subsampling"); v {
+	case "", "420":
+		opts.Subsampling = jpegcodec.Sub420
+	case "444":
+		opts.Subsampling = jpegcodec.Sub444
+	default:
+		return opts, errf(http.StatusBadRequest, "bad_subsampling",
+			"subsampling=%q is not one of 420, 444", v)
+	}
+	if opts.OptimizeHuffman, err = parseBoolParam(q, "optimize", false); err != nil {
+		return opts, err
+	}
+	return opts, nil
+}
+
+// requantizeTables picks the target tables of a requantize request.
+func (s *Server) requantizeTables(q url.Values) (luma, chroma qtable.Table, err error) {
+	fw := s.opts.Framework
+	if qf, ok, qerr := parseQuality(q); qerr != nil {
+		return luma, chroma, qerr
+	} else if ok {
+		return stdTablesFor(qf)
+	}
+	return fw.LumaTable, fw.ChromaTable, nil
+}
+
+type outputFormat struct {
+	name        string // png, ppm, pgm
+	contentType string
+}
+
+func parseFormat(q url.Values) (outputFormat, error) {
+	switch v := q.Get("format"); v {
+	case "", "png":
+		return outputFormat{"png", "image/png"}, nil
+	case "ppm":
+		return outputFormat{"ppm", "image/x-portable-pixmap"}, nil
+	case "pgm":
+		return outputFormat{"pgm", "image/x-portable-graymap"}, nil
+	default:
+		return outputFormat{}, errf(http.StatusBadRequest, "bad_format",
+			"format=%q is not one of png, ppm, pgm", v)
+	}
+}
+
+// --- image parsing ------------------------------------------------------
+
+var pngMagic = []byte{0x89, 'P', 'N', 'G'}
+
+// parseImage sniffs and decodes a PNG/PPM/PGM body, enforcing the
+// declared-dimension cap before any pixel buffer is allocated.
+func (s *Server) parseImage(body []byte) (*imgutil.RGB, error) {
+	switch {
+	case bytes.HasPrefix(body, pngMagic):
+		cfg, err := png.DecodeConfig(bytes.NewReader(body))
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad_image", "invalid PNG header: %v", err)
+		}
+		if cfg.Width*cfg.Height > s.opts.MaxPixels {
+			return nil, errf(http.StatusBadRequest, "image_too_large",
+				"%dx%d exceeds the %d-pixel limit", cfg.Width, cfg.Height, s.opts.MaxPixels)
+		}
+		img, err := png.Decode(bytes.NewReader(body))
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad_image", "invalid PNG: %v", err)
+		}
+		return imgutil.FromImage(img), nil
+	case bytes.HasPrefix(body, []byte("P6")):
+		if err := s.checkPNMDims(body); err != nil {
+			return nil, err
+		}
+		img, err := imgutil.ReadPPM(bytes.NewReader(body))
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad_image", "invalid PPM: %v", err)
+		}
+		return img, nil
+	case bytes.HasPrefix(body, []byte("P5")):
+		if err := s.checkPNMDims(body); err != nil {
+			return nil, err
+		}
+		g, err := imgutil.ReadPGM(bytes.NewReader(body))
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad_image", "invalid PGM: %v", err)
+		}
+		return g.ToRGB(), nil
+	default:
+		return nil, errf(http.StatusUnsupportedMediaType, "unsupported_image",
+			"body is not PNG, PPM (P6) or PGM (P5)")
+	}
+}
+
+// checkPNMDims parses just the width/height tokens of a binary PNM
+// header and applies the pixel cap, so a 30-byte body declaring a
+// terabyte image is rejected before ReadPPM allocates for it.
+func (s *Server) checkPNMDims(body []byte) error {
+	// Bound the header scan generously: real headers fit well within a
+	// few hundred bytes, but comment lines may legally push the
+	// dimension tokens past that, so only truly unbounded headers fail.
+	const maxHeaderScan = 4096
+	fields := make([]int, 0, 2)
+	i := 2 // past the magic
+	for len(fields) < 2 && i < len(body) && i < maxHeaderScan {
+		c := body[i]
+		switch {
+		case c == '#': // comment runs to end of line
+			for i < len(body) && body[i] != '\n' {
+				i++
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9':
+			v := 0
+			for i < len(body) && body[i] >= '0' && body[i] <= '9' {
+				v = v*10 + int(body[i]-'0')
+				if v > s.opts.MaxPixels {
+					break
+				}
+				i++
+			}
+			fields = append(fields, v)
+		default:
+			return errf(http.StatusBadRequest, "bad_image", "malformed PNM header")
+		}
+	}
+	if len(fields) < 2 {
+		return errf(http.StatusBadRequest, "bad_image", "truncated PNM header")
+	}
+	if fields[0] <= 0 || fields[1] <= 0 || fields[0]*fields[1] > s.opts.MaxPixels {
+		return errf(http.StatusBadRequest, "image_too_large",
+			"%dx%d exceeds the %d-pixel limit", fields[0], fields[1], s.opts.MaxPixels)
+	}
+	return nil
+}
+
+// --- the four codec endpoints -------------------------------------------
+
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request, t *tenant) error {
+	opts, err := s.encodeOptions(r.URL.Query())
+	if err != nil {
+		return err
+	}
+	body, err := s.readBody(r, t)
+	if err != nil {
+		return err
+	}
+	img, err := s.parseImage(body)
+	if err != nil {
+		return err
+	}
+	buf := s.bufPool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); s.bufPool.Put(buf) }()
+	buf.Reset()
+	if err := jpegcodec.EncodeRGB(buf, img, &opts); err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "image/jpeg")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request, t *tenant) error {
+	q := r.URL.Query()
+	format, err := parseFormat(q)
+	if err != nil {
+		return err
+	}
+	// Default to the engine the server was configured with (-fast-dct
+	// accelerates decode too), overridable per request.
+	xf, err := parseTransform(q, s.opts.Framework.Transform)
+	if err != nil {
+		return err
+	}
+	body, err := s.readBody(r, t)
+	if err != nil {
+		return err
+	}
+	dec := s.decPool.Get().(*jpegcodec.Decoded)
+	defer s.decPool.Put(dec)
+	dopts := jpegcodec.DecodeOptions{Transform: xf, MaxPixels: s.opts.MaxPixels}
+	if err := jpegcodec.DecodeInto(bytes.NewReader(body), dec, &dopts); err != nil {
+		return err
+	}
+	img := s.imgPool.Get().(*imgutil.RGB)
+	defer s.imgPool.Put(img)
+	img = dec.RGBInto(img)
+	buf := s.bufPool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); s.bufPool.Put(buf) }()
+	buf.Reset()
+	if err := writeImage(buf, img, format); err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", format.contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("X-Image-Width", strconv.Itoa(img.W))
+	w.Header().Set("X-Image-Height", strconv.Itoa(img.H))
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+func writeImage(w io.Writer, img *imgutil.RGB, format outputFormat) error {
+	switch format.name {
+	case "png":
+		return png.Encode(w, img.ToImage())
+	case "ppm":
+		return imgutil.WritePPM(w, img)
+	case "pgm":
+		return imgutil.WritePGM(w, img.ToGray())
+	default:
+		return fmt.Errorf("server: unknown output format %q", format.name)
+	}
+}
+
+func (s *Server) handleRequantize(w http.ResponseWriter, r *http.Request, t *tenant) error {
+	q := r.URL.Query()
+	luma, chroma, err := s.requantizeTables(q)
+	if err != nil {
+		return err
+	}
+	optimize, err := parseBoolParam(q, "optimize", true)
+	if err != nil {
+		return err
+	}
+	body, err := s.readBody(r, t)
+	if err != nil {
+		return err
+	}
+	dec := s.decPool.Get().(*jpegcodec.Decoded)
+	defer s.decPool.Put(dec)
+	dopts := jpegcodec.DecodeOptions{MaxPixels: s.opts.MaxPixels}
+	if err := jpegcodec.DecodeInto(bytes.NewReader(body), dec, &dopts); err != nil {
+		return err
+	}
+	buf := s.bufPool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); s.bufPool.Put(buf) }()
+	buf.Reset()
+	jopts := jpegcodec.Options{OptimizeHuffman: optimize}
+	if err := jpegcodec.Requantize(buf, dec, luma, chroma, &jopts); err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "image/jpeg")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("X-Source-Bytes", strconv.Itoa(len(body)))
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// --- batch --------------------------------------------------------------
+
+// batchScratch is the per-worker reusable state of one /v1/batch
+// request: decode working set, reader and output image survive across
+// every item the worker claims.
+type batchScratch struct {
+	dec *jpegcodec.Decoded
+	rd  bytes.Reader
+	img *imgutil.RGB
+}
+
+// batchOp runs one item on a worker's scratch, returning the response
+// payload (a fresh slice — results of all items coexist).
+type batchOp struct {
+	contentType string
+	run         func(sc *batchScratch, item []byte) ([]byte, error)
+}
+
+// batchOpFor compiles the query parameters into the per-item runner of
+// this request; configuration errors surface once, before any part is
+// read.
+func (s *Server) batchOpFor(q url.Values) (*batchOp, error) {
+	switch op := q.Get("op"); op {
+	case "", "encode":
+		opts, err := s.encodeOptions(q)
+		if err != nil {
+			return nil, err
+		}
+		return &batchOp{contentType: "image/jpeg", run: func(sc *batchScratch, item []byte) ([]byte, error) {
+			img, err := s.parseImage(item)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			o := opts
+			if err := jpegcodec.EncodeRGB(&buf, img, &o); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}}, nil
+	case "decode":
+		format, err := parseFormat(q)
+		if err != nil {
+			return nil, err
+		}
+		xf, err := parseTransform(q, s.opts.Framework.Transform)
+		if err != nil {
+			return nil, err
+		}
+		dopts := jpegcodec.DecodeOptions{Transform: xf, MaxPixels: s.opts.MaxPixels}
+		return &batchOp{contentType: format.contentType, run: func(sc *batchScratch, item []byte) ([]byte, error) {
+			sc.rd.Reset(item)
+			if err := jpegcodec.DecodeInto(&sc.rd, sc.dec, &dopts); err != nil {
+				return nil, err
+			}
+			sc.img = sc.dec.RGBInto(sc.img)
+			var buf bytes.Buffer
+			if err := writeImage(&buf, sc.img, format); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}}, nil
+	case "requantize":
+		luma, chroma, err := s.requantizeTables(q)
+		if err != nil {
+			return nil, err
+		}
+		optimize, err := parseBoolParam(q, "optimize", true)
+		if err != nil {
+			return nil, err
+		}
+		dopts := jpegcodec.DecodeOptions{MaxPixels: s.opts.MaxPixels}
+		jopts := jpegcodec.Options{OptimizeHuffman: optimize}
+		return &batchOp{contentType: "image/jpeg", run: func(sc *batchScratch, item []byte) ([]byte, error) {
+			sc.rd.Reset(item)
+			if err := jpegcodec.DecodeInto(&sc.rd, sc.dec, &dopts); err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			o := jopts
+			if err := jpegcodec.Requantize(&buf, sc.dec, luma, chroma, &o); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}}, nil
+	default:
+		return nil, errf(http.StatusBadRequest, "bad_op",
+			"op=%q is not one of encode, decode, requantize", q.Get("op"))
+	}
+}
+
+// handleBatch reads a multipart request, fans the parts across the
+// pipeline worker pool (order preserved), and answers multipart/mixed
+// with one part per input in input order. Failed items come back as
+// application/json error parts flagged X-Batch-Error: true; the request
+// itself still answers 200 so partial progress survives.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, t *tenant) error {
+	op, err := s.batchOpFor(r.URL.Query())
+	if err != nil {
+		return err
+	}
+	ct := r.Header.Get("Content-Type")
+	mt, params, err := mime.ParseMediaType(ct)
+	if err != nil || !strings.HasPrefix(mt, "multipart/") {
+		return errf(http.StatusBadRequest, "bad_content_type",
+			"Content-Type %q is not multipart", ct)
+	}
+	mr := multipart.NewReader(r.Body, params["boundary"])
+	var items [][]byte
+	total := 0
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A body-cap hit surfaces here when the limit lands between
+			// parts; keep it classified as 413 like every other route.
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				return err
+			}
+			return errf(http.StatusBadRequest, "bad_multipart", "reading part %d: %v", len(items), err)
+		}
+		if len(items) >= s.opts.MaxBatchItems {
+			part.Close()
+			return errf(http.StatusRequestEntityTooLarge, "batch_too_large",
+				"batch exceeds %d items", s.opts.MaxBatchItems)
+		}
+		data, err := io.ReadAll(part)
+		part.Close()
+		if err != nil {
+			return fmt.Errorf("reading part %d: %w", len(items), err)
+		}
+		items = append(items, data)
+		total += len(data)
+	}
+	if len(items) == 0 {
+		return errf(http.StatusBadRequest, "empty_batch", "multipart body has no parts")
+	}
+	s.bytesIn.Add(int64(total))
+	t.bytesIn.Add(int64(total))
+	t.items.Add(int64(len(items)))
+
+	nw := pipeline.Workers(s.opts.BatchWorkers, len(items))
+	scratch := make([]*batchScratch, nw)
+	for i := range scratch {
+		scratch[i] = &batchScratch{
+			dec: s.decPool.Get().(*jpegcodec.Decoded),
+			img: s.imgPool.Get().(*imgutil.RGB),
+		}
+	}
+	defer func() {
+		for _, sc := range scratch {
+			s.decPool.Put(sc.dec)
+			s.imgPool.Put(sc.img)
+		}
+	}()
+	results, runErr := pipeline.MapWorker(r.Context(), len(items), s.opts.BatchWorkers,
+		func(_ context.Context, wk, i int) ([]byte, error) {
+			return op.run(scratch[wk], items[i])
+		})
+	itemErrs := make(map[int]error)
+	if runErr != nil {
+		// Cancellation skips items without per-item errors; a partial
+		// multipart answer would present them as empty successes, so the
+		// whole request fails even if some items also carry errors.
+		if ctxErr := r.Context().Err(); ctxErr != nil && errors.Is(runErr, ctxErr) {
+			return runErr
+		}
+		var be *pipeline.BatchError
+		if errors.As(runErr, &be) {
+			for _, it := range be.Items {
+				itemErrs[it.Index] = it.Err
+			}
+		} else {
+			return runErr
+		}
+	}
+
+	mw := multipart.NewWriter(w)
+	defer mw.Close()
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	w.Header().Set("X-Batch-Items", strconv.Itoa(len(items)))
+	w.Header().Set("X-Batch-Failed", strconv.Itoa(len(itemErrs)))
+	for i := range items {
+		hdr := make(textproto.MIMEHeader, 3)
+		hdr.Set("X-Batch-Index", strconv.Itoa(i))
+		if err, failed := itemErrs[i]; failed {
+			hdr.Set("Content-Type", "application/json")
+			hdr.Set("X-Batch-Error", "true")
+			pw, werr := mw.CreatePart(hdr)
+			if werr != nil {
+				return werr
+			}
+			json.NewEncoder(pw).Encode(map[string]any{
+				"index": i,
+				"error": map[string]string{"code": "item_failed", "message": err.Error()},
+			})
+			continue
+		}
+		hdr.Set("Content-Type", op.contentType)
+		pw, werr := mw.CreatePart(hdr)
+		if werr != nil {
+			return werr
+		}
+		if _, werr := pw.Write(results[i]); werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// --- observability ------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"in_flight":      s.inFlight.Value(),
+	})
+}
+
+// handleMetrics serves the expvar document assembled in New. The maps
+// render themselves as JSON, matching /debug/vars conventions without
+// touching the process-global expvar registry (several Servers can
+// coexist in one process).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, s.metrics.String())
+}

@@ -1,0 +1,68 @@
+package server
+
+import "expvar"
+
+// TenantConfig describes the limits of one API key.
+type TenantConfig struct {
+	// Name labels the tenant in /metrics and log output; it defaults to
+	// the API key itself.
+	Name string
+	// MaxInFlight caps the tenant's concurrent requests; a request
+	// arriving with every slot taken is rejected with 429 instead of
+	// queued, so one tenant cannot absorb the whole worker pool. ≤ 0
+	// falls back to Options.MaxInFlight.
+	MaxInFlight int
+}
+
+// tenant is the runtime state behind one API key (or behind the single
+// anonymous tenant of a server configured without keys): a non-blocking
+// concurrency gate plus request accounting, all exported through the
+// /metrics document.
+type tenant struct {
+	name string
+	sem  chan struct{} // buffered to the tenant's in-flight cap
+
+	requests expvar.Int // requests admitted past the gate
+	rejected expvar.Int // requests refused with 429 at the gate
+	failed   expvar.Int // admitted requests answered with a non-2xx status
+	items    expvar.Int // batch items processed on the tenant's behalf
+	bytesIn  expvar.Int // request body bytes read
+	bytesOut expvar.Int // response body bytes written
+	inFlight expvar.Int // gauge: requests currently holding a slot
+
+	vars *expvar.Map // the tenant's /metrics subtree
+}
+
+func newTenant(name string, maxInFlight int) *tenant {
+	t := &tenant{name: name, sem: make(chan struct{}, maxInFlight)}
+	m := new(expvar.Map).Init()
+	m.Set("requests", &t.requests)
+	m.Set("rejected", &t.rejected)
+	m.Set("failed", &t.failed)
+	m.Set("batch_items", &t.items)
+	m.Set("bytes_in", &t.bytesIn)
+	m.Set("bytes_out", &t.bytesOut)
+	m.Set("in_flight", &t.inFlight)
+	t.vars = m
+	return t
+}
+
+// tryAcquire claims an in-flight slot without blocking; callers that get
+// false must answer 429 and stop.
+func (t *tenant) tryAcquire() bool {
+	select {
+	case t.sem <- struct{}{}:
+		t.inFlight.Add(1)
+		t.requests.Add(1)
+		return true
+	default:
+		t.rejected.Add(1)
+		return false
+	}
+}
+
+// release returns the slot claimed by tryAcquire.
+func (t *tenant) release() {
+	<-t.sem
+	t.inFlight.Add(-1)
+}

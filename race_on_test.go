@@ -1,0 +1,5 @@
+//go:build race
+
+package deepnjpeg
+
+const raceEnabled = true

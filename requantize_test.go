@@ -1,0 +1,167 @@
+package deepnjpeg
+
+// Tests for the public coefficient-domain requantization API — the code
+// path the CLI and the HTTP server both dispatch through.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"image/jpeg"
+	"runtime"
+	"testing"
+)
+
+// requantizeFixture returns a calibrated codec plus high-quality source
+// streams for its images.
+func requantizeFixture(t *testing.T) (*Codec, []*Image, [][]byte) {
+	t.Helper()
+	codec, images := batchCodec(t)
+	streams := make([][]byte, len(images))
+	for i, img := range images {
+		data, err := EncodeJPEG(img, 95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = data
+	}
+	return codec, images, streams
+}
+
+func TestRequantizeRoundTrips(t *testing.T) {
+	codec, images, streams := requantizeFixture(t)
+	for i, src := range streams[:4] {
+		out, err := codec.Requantize(src, RequantizeOptions{OptimizeHuffman: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The retargeted stream stays standard baseline JFIF: both our
+		// decoder and the stdlib must read it at source geometry.
+		back, err := Decode(out)
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if back.W != images[i].W || back.H != images[i].H {
+			t.Fatalf("stream %d decoded %dx%d, want %dx%d", i, back.W, back.H, images[i].W, images[i].H)
+		}
+		if _, err := jpeg.Decode(bytes.NewReader(out)); err != nil {
+			t.Fatalf("stream %d: stdlib cannot decode requantized output: %v", i, err)
+		}
+		psnr, err := PSNR(images[i], back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr < 15 {
+			t.Fatalf("stream %d: requantized fidelity %.1f dB too low", i, psnr)
+		}
+	}
+}
+
+func TestRequantizeJPEGShrinksAtLowerQuality(t *testing.T) {
+	_, _, streams := requantizeFixture(t)
+	src := streams[0]
+	out, err := RequantizeJPEG(src, 40, RequantizeOptions{OptimizeHuffman: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) >= len(src) {
+		t.Fatalf("qf-40 requantization grew the stream: %d → %d bytes", len(src), len(out))
+	}
+	if _, err := Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequantizeBatchMatchesSequential(t *testing.T) {
+	codec, _, streams := requantizeFixture(t)
+	ropts := RequantizeOptions{OptimizeHuffman: true}
+	want := make([][]byte, len(streams))
+	for i, src := range streams {
+		out, err := codec.Requantize(src, ropts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := codec.RequantizeBatch(context.Background(), streams,
+				BatchOptions{Workers: workers}, ropts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("stream %d differs from sequential requantize", i)
+				}
+			}
+		})
+	}
+}
+
+func TestRequantizeJPEGBatchMatchesSequential(t *testing.T) {
+	_, _, streams := requantizeFixture(t)
+	ropts := RequantizeOptions{}
+	want := make([][]byte, len(streams))
+	for i, src := range streams {
+		out, err := RequantizeJPEG(src, 60, ropts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	got, err := RequantizeJPEGBatch(context.Background(), streams, 60, BatchOptions{Workers: 4}, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("stream %d differs from sequential requantize", i)
+		}
+	}
+}
+
+func TestRequantizeBatchPartialFailure(t *testing.T) {
+	codec, _, streams := requantizeFixture(t)
+	streams[2] = []byte("definitely not a JPEG")
+	streams[5] = streams[5][:10] // truncated header
+	got, err := codec.RequantizeBatch(context.Background(), streams, BatchOptions{Workers: 4}, RequantizeOptions{})
+	if err == nil {
+		t.Fatal("corrupt items must surface an error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not a *BatchError", err)
+	}
+	if len(be.Items) != 2 || be.Items[0].Index != 2 || be.Items[1].Index != 5 {
+		t.Fatalf("failed items %v, want indices 2 and 5", be.Items)
+	}
+	for i, out := range got {
+		failed := i == 2 || i == 5
+		if failed && out != nil {
+			t.Fatalf("failed item %d left a non-nil result", i)
+		}
+		if !failed && out == nil {
+			t.Fatalf("healthy item %d lost its result", i)
+		}
+	}
+}
+
+func TestRequantizeMaxPixels(t *testing.T) {
+	_, _, streams := requantizeFixture(t)
+	_, err := RequantizeJPEG(streams[0], 60, RequantizeOptions{MaxPixels: 16})
+	if err == nil {
+		t.Fatal("a 32x32 source must exceed a 16-pixel limit")
+	}
+}
+
+func TestRequantizeBatchCancellation(t *testing.T) {
+	codec, _, streams := requantizeFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := codec.RequantizeBatch(ctx, streams, BatchOptions{Workers: 2}, RequantizeOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not match context.Canceled", err)
+	}
+}

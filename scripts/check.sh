@@ -1,7 +1,7 @@
 #!/bin/sh
-# Full pre-merge gate: gofmt, vet, build, and the complete test suite
-# under the race detector. Equivalent to `make check` for environments
-# without make.
+# Full pre-merge gate: gofmt, vet, build, the complete test suite under
+# the race detector, and a short native-fuzz smoke of the decoder and
+# requantizer. Equivalent to `make check` for environments without make.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -13,3 +13,5 @@ test -z "$unformatted"
 go vet ./...
 go build ./...
 go test -race ./...
+go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 5s ./internal/jpegcodec
+go test -run '^$' -fuzz '^FuzzRequantize$' -fuzztime 5s ./internal/jpegcodec
