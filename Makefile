@@ -3,14 +3,18 @@
 #   make check       # gofmt gate + vet + build + race suite + fuzz smoke
 #   make test        # plain test run (what tier-1 verification executes)
 #   make bench       # DCT/codec/pipeline benchmarks with allocation reporting
+#   make bench-json  # full benchmark sweep → BENCH_$(PR).json (perf trajectory)
 #   make serve-bench # requests/sec through the HTTP batch endpoint
-#   make fuzz-smoke  # short native-fuzz run of FuzzDecode/FuzzRequantize
+#   make fuzz-smoke  # short native-fuzz run of the decode/requantize/profile fuzzers
 
 GO ?= go
 GOFMT ?= gofmt
 FUZZTIME ?= 5s
+# PR tags the benchmark snapshot file (BENCH_$(PR).json); set it to the
+# PR number when recording a data point, e.g. `make bench-json PR=4`.
+PR ?= dev
 
-.PHONY: check fmt vet build test race bench serve-bench fuzz-smoke
+.PHONY: check fmt vet build test race bench bench-json serve-bench fuzz-smoke
 
 check: fmt vet build race fuzz-smoke
 
@@ -35,11 +39,23 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/jpegcodec
 	$(GO) test -run '^$$' -fuzz '^FuzzRequantize$$' -fuzztime $(FUZZTIME) ./internal/jpegcodec
+	$(GO) test -run '^$$' -fuzz '^FuzzProfileDecode$$' -fuzztime $(FUZZTIME) ./internal/profile
 
 bench:
 	$(GO) test -run XXX -bench 'Transform|ForwardAAN|InverseAAN' -benchmem ./internal/dct
 	$(GO) test -run XXX -bench 'Transform|DecodePooled|EncodeRGB420|DecodeRGB420' -benchmem ./internal/jpegcodec
 	$(GO) test -run XXX -bench 'EncodeBatch|DecodeBatch|CalibrateParallel|DeepNEncodeThroughput' -benchmem ./
+
+# bench-json records the full benchmark sweep as a machine-readable
+# snapshot (BENCH_$(PR).json) so per-PR performance is diffable across
+# the repository's history. The sweep and the conversion run as separate
+# commands (no pipe) so a failing benchmark fails the target instead of
+# silently producing a truncated snapshot.
+bench-json:
+	$(GO) test -run XXX -bench . -benchmem ./... > BENCH_$(PR).txt
+	$(GO) run ./scripts/bench2json < BENCH_$(PR).txt > BENCH_$(PR).json
+	@rm -f BENCH_$(PR).txt
+	@echo "wrote BENCH_$(PR).json"
 
 serve-bench:
 	$(GO) test -run XXX -bench 'ServeBatchEncode|ServeEncodeSingle' -benchmem ./internal/server

@@ -1,6 +1,8 @@
 // Command deepn-jpeg is the CLI front end of the DeepN-JPEG codec:
 //
-//	deepn-jpeg calibrate  -classes 8 -per-class 40 [-chroma] [-workers N]  # print calibrated tables
+//	deepn-jpeg calibrate  [-in imgdir/] [-out p.dnp -name imagenet -pversion 1]
+//	                      [-chroma] [-workers N] [-fast-dct]     # calibrate, optionally persist a profile
+//	deepn-jpeg profiles   list|show|verify [-dir profiles/] [-in p.dnp]  # manage persisted profiles
 //	deepn-jpeg encode     -in img.(ppm|pgm|png|jpg) -out out.jpg
 //	                      [-qf 85 | -deepn] [-subsampling 420|444] [-optimize] [-fast-dct]
 //	deepn-jpeg encode     -in dir/ -out dir/ [-workers N] ...       # batch-encode a directory
@@ -9,10 +11,18 @@
 //	deepn-jpeg requantize -in img.jpg -out out.jpg [-qf 60 | -deepn]     # alias: transcode
 //	deepn-jpeg requantize -in dir/ -out dir/ [-workers N] ...      # batch-requantize a directory
 //	deepn-jpeg inspect    -in img.jpg                               # tables + metadata
-//	deepn-jpeg serve      -addr :8080 [-api-keys k1:4,k2] [-workers N]   # HTTP codec service
+//	deepn-jpeg serve      -addr :8080 [-profile-dir profiles/ -profile name]
+//	                      [-api-keys k1:4,k2] [-workers N]         # HTTP codec service
 //
-// Calibration runs on the built-in SynthNet generator so the tool works
-// without external data; encode -deepn calibrates on the fly the same way.
+// calibrate runs the DeepN-JPEG design flow on an image directory (-in;
+// sub-directories are classes, a flat directory is one class, images load
+// in parallel through the batch pipeline) or, without -in, on the
+// built-in SynthNet generator so the tool works without external data;
+// encode -deepn calibrates on the fly the same way. With -out the
+// calibration persists as a named, versioned profile file that `profiles
+// list|show|verify` manages and `serve -profile` boots from — skipping
+// startup calibration entirely.
+//
 // When -in names a directory, encode, decode and requantize process every
 // supported image in it onto -out (a directory) through the concurrent
 // batch pipeline; -workers sizes the pool (0 = GOMAXPROCS). -fast-dct
@@ -20,9 +30,11 @@
 // are byte-identical to the naive engine, just produced faster.
 //
 // serve exposes the codec over HTTP (POST /v1/encode, /v1/decode,
-// /v1/requantize, multipart /v1/batch, GET /healthz, /metrics) with
-// per-tenant concurrency limits; see the README for endpoint details and
-// curl examples.
+// /v1/requantize, multipart /v1/batch, POST /admin/profiles/reload, GET
+// /healthz, /metrics) with per-tenant concurrency limits; -profile-dir
+// serves a profile registry with per-request (?profile=name) and
+// per-tenant selection plus hot reload. See the README for endpoint
+// details and curl examples.
 package main
 
 import (
@@ -32,11 +44,13 @@ import (
 	"flag"
 	"fmt"
 	"image/png"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,6 +64,7 @@ import (
 	"repro/internal/imgutil"
 	"repro/internal/jpegcodec"
 	"repro/internal/pipeline"
+	"repro/internal/profile"
 	"repro/internal/qtable"
 )
 
@@ -70,6 +85,8 @@ func main() {
 		err = runRequantize(os.Args[2:])
 	case "inspect":
 		err = runInspect(os.Args[2:])
+	case "profiles":
+		err = runProfiles(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -85,7 +102,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: deepn-jpeg <calibrate|encode|decode|requantize|inspect|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: deepn-jpeg <calibrate|profiles|encode|decode|requantize|inspect|serve> [flags]")
 }
 
 // runRequantize re-targets existing JPEGs in the coefficient domain — no
@@ -246,33 +263,281 @@ func checkOutputCollisions(inputs []string, outExt string) error {
 
 func runCalibrate(args []string) error {
 	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
-	classes := fs.Int("classes", 8, "SynthNet classes")
-	perClass := fs.Int("per-class", 40, "images per class")
-	size := fs.Int("size", 32, "image size")
-	seed := fs.Int64("seed", 1, "generator seed")
+	in := fs.String("in", "", "image directory to calibrate on (sub-directories are classes); empty = SynthNet")
+	out := fs.String("out", "", "write the calibration as a profile file (.dnp)")
+	name := fs.String("name", "default", "profile name recorded in -out")
+	pversion := fs.Uint("pversion", 1, "profile version recorded in -out (≥ 1)")
+	comment := fs.String("comment", "", "free-form provenance recorded in -out")
+	classes := fs.Int("classes", 8, "SynthNet classes (ignored with -in)")
+	perClass := fs.Int("per-class", 40, "SynthNet images per class (ignored with -in)")
+	size := fs.Int("size", 32, "SynthNet image size (ignored with -in)")
+	seed := fs.Int64("seed", 1, "SynthNet generator seed (ignored with -in)")
+	sampleEvery := fs.Int("sample-every", 0, "keep every k-th image per class (Algorithm 1); ≤1 keeps all")
 	chroma := fs.Bool("chroma", false, "also calibrate a chroma table")
-	workers := fs.Int("workers", 1, "statistics-pass worker count (1 = sequential)")
+	workers := fs.Int("workers", 0, "image-load and statistics-pass worker count (0 = GOMAXPROCS)")
+	fastDCT := fs.Bool("fast-dct", false, "record the AAN fast DCT engine in the calibration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := dataset.Config{Classes: *classes, Size: *size, TrainPerClass: *perClass, TestPerClass: 1, Seed: *seed, NoiseStd: 5, Color: *chroma}
-	train, _, err := dataset.Generate(cfg)
-	if err != nil {
-		return err
+	if *pversion == 0 || *pversion > math.MaxUint32 {
+		return fmt.Errorf("-pversion %d out of range [1, %d]", *pversion, uint64(math.MaxUint32))
 	}
-	fw, err := core.Calibrate(train, core.CalibrateOptions{Chroma: *chroma, Workers: *workers})
-	if err != nil {
-		return err
+	if *workers <= 0 {
+		// The pipeline maps 0 to GOMAXPROCS on its own, but the
+		// statistics pass treats ≤1 as sequential — resolve here so the
+		// flag's "0 = GOMAXPROCS" promise covers both stages.
+		*workers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("calibrated on %d images (%d classes)\n", fw.SampledCount, *classes)
+	cfg := deepnjpeg.CalibrateConfig{Chroma: *chroma, Workers: *workers, SampleEvery: *sampleEvery}
+	if *fastDCT {
+		cfg.Transform = deepnjpeg.TransformAAN
+	}
+	var (
+		codec    *deepnjpeg.Codec
+		nClasses int
+		source   string
+		err      error
+	)
+	start := time.Now()
+	if *in != "" {
+		images, labels, err := loadImageDir(*in, *workers)
+		if err != nil {
+			return err
+		}
+		nClasses = countClasses(labels)
+		source = *in
+		codec, err = deepnjpeg.Calibrate(images, labels, cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		dcfg := dataset.Config{Classes: *classes, Size: *size, TrainPerClass: *perClass, TestPerClass: 1, Seed: *seed, NoiseStd: 5, Color: *chroma}
+		train, _, gerr := dataset.Generate(dcfg)
+		if gerr != nil {
+			return gerr
+		}
+		nClasses = *classes
+		source = "SynthNet"
+		codec, err = deepnjpeg.Calibrate(train.Images, train.Labels, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	p := codec.PLMParams()
+	fmt.Printf("calibrated on %s (%d classes) in %v\n", source, nClasses, elapsed.Round(time.Millisecond))
 	fmt.Printf("PLM: a=%.1f b=%.1f c=%.1f k1=%.3f k2=%.3f k3=%.3f T1=%.2f T2=%.2f Qmin=%.0f\n",
-		fw.Params.A, fw.Params.B, fw.Params.C, fw.Params.K1, fw.Params.K2, fw.Params.K3,
-		fw.Params.T1, fw.Params.T2, fw.Params.QMin)
+		p.A, p.B, p.C, p.K1, p.K2, p.K3, p.T1, p.T2, p.QMin)
 	fmt.Println("\nluminance table:")
-	fmt.Print(fw.LumaTable.String())
+	fmt.Print(codec.LumaTable().String())
 	if *chroma {
 		fmt.Println("\nchrominance table:")
-		fmt.Print(fw.ChromaTable.String())
+		fmt.Print(codec.ChromaTable().String())
+	}
+	if *out != "" {
+		meta := deepnjpeg.ProfileMeta{Name: *name, Version: uint32(*pversion), Comment: *comment}
+		if err := codec.SaveProfile(*out, meta); err != nil {
+			return err
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nprofile %s@%d written to %s (%d bytes)\n", *name, *pversion, *out, st.Size())
+	}
+	return nil
+}
+
+// loadImageDir reads a calibration set from disk, in parallel through
+// the batch pipeline. Sub-directories become classes (ImageNet layout)
+// and images directly in dir form one more class of their own, so a
+// mixed layout loses nothing — labels only drive Algorithm 1's
+// stratified sampling, so unlabeled corpora still work.
+func loadImageDir(dir string, workers int) ([]*imgutil.RGB, []int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var paths []string
+	var labels []int
+	class := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		names, err := listInputs(filepath.Join(dir, e.Name()), ".ppm", ".pgm", ".png", ".jpg", ".jpeg")
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(names) == 0 {
+			continue
+		}
+		for _, n := range names {
+			paths = append(paths, filepath.Join(dir, e.Name(), n))
+			labels = append(labels, class)
+		}
+		class++
+	}
+	rootNames, err := listInputs(dir, ".ppm", ".pgm", ".png", ".jpg", ".jpeg")
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, n := range rootNames {
+		paths = append(paths, filepath.Join(dir, n))
+		labels = append(labels, class)
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("no calibration images (ppm/pgm/png/jpg) under %s", dir)
+	}
+	images, err := pipeline.Map(context.Background(), len(paths), workers,
+		func(_ context.Context, i int) (*imgutil.RGB, error) {
+			return loadImage(paths[i])
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return images, labels, nil
+}
+
+func countClasses(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// runProfiles manages persisted calibration profiles: list a directory,
+// show one profile's metadata and tables, verify integrity (CRC,
+// canonical re-encode, restorability).
+func runProfiles(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: deepn-jpeg profiles <list|show|verify> [flags]")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("profiles "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "", "profile directory")
+	in := fs.String("in", "", "single profile file")
+	switch sub {
+	case "list":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *dir == "" {
+			return fmt.Errorf("profiles list needs -dir")
+		}
+		// An unreadable directory is a hard error (a typo must not read
+		// as "empty registry"); individual corrupt files are warnings —
+		// the healthy remainder still lists.
+		if st, err := os.Stat(*dir); err != nil {
+			return err
+		} else if !st.IsDir() {
+			return fmt.Errorf("%s is not a directory", *dir)
+		}
+		reg, err := profile.OpenRegistry(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deepn-jpeg: warning:", err)
+		}
+		ps := reg.List()
+		if len(ps) == 0 {
+			fmt.Printf("no profiles in %s\n", *dir)
+			return nil
+		}
+		fmt.Printf("%-24s %-7s %-8s %-7s %-20s %s\n", "PROFILE", "SAMPLED", "TRANSFORM", "CHROMA", "CREATED", "COMMENT")
+		for _, p := range ps {
+			fmt.Printf("%-24s %-7d %-8s %-7v %-20s %s\n", p.Ref(), p.SampledCount, p.Transform,
+				p.ChromaCalibrated, time.Unix(p.CreatedUnix, 0).UTC().Format("2006-01-02 15:04:05"), p.Comment)
+		}
+		return nil
+	case "show":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *in == "" {
+			return fmt.Errorf("profiles show needs -in")
+		}
+		p, err := profile.Read(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: profile %s\n", *in, p.Ref())
+		fmt.Printf("created:    %s\n", time.Unix(p.CreatedUnix, 0).UTC().Format(time.RFC3339))
+		fmt.Printf("transform:  %s\n", p.Transform)
+		fmt.Printf("sampled:    %d images (%d blocks)\n", p.SampledCount, p.LumaStats.Blocks)
+		fmt.Printf("chroma:     calibrated=%v\n", p.ChromaCalibrated)
+		if p.Comment != "" {
+			fmt.Printf("comment:    %s\n", p.Comment)
+		}
+		fmt.Printf("PLM: a=%.1f b=%.1f c=%.1f k1=%.3f k2=%.3f k3=%.3f T1=%.2f T2=%.2f Qmin=%.0f\n",
+			p.Params.A, p.Params.B, p.Params.C, p.Params.K1, p.Params.K2, p.Params.K3,
+			p.Params.T1, p.Params.T2, p.Params.QMin)
+		fmt.Println("\nluminance table:")
+		fmt.Print(p.Luma.String())
+		fmt.Println("\nchrominance table:")
+		fmt.Print(p.Chroma.String())
+		return nil
+	case "verify":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		var files []string
+		switch {
+		case *in != "":
+			files = []string{*in}
+		case *dir != "":
+			names, err := listInputs(*dir, profile.Ext)
+			if err != nil {
+				return err
+			}
+			for _, n := range names {
+				files = append(files, filepath.Join(*dir, n))
+			}
+		default:
+			return fmt.Errorf("profiles verify needs -in or -dir")
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("no profile files (%s) to verify", profile.Ext)
+		}
+		bad := 0
+		for _, f := range files {
+			if err := verifyProfileFile(f); err != nil {
+				bad++
+				fmt.Printf("%-40s FAIL: %v\n", f, err)
+				continue
+			}
+			fmt.Printf("%-40s OK\n", f)
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d of %d profile(s) failed verification", bad, len(files))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown profiles subcommand %q (want list, show or verify)", sub)
+	}
+}
+
+// verifyProfileFile runs the full integrity check on one profile file:
+// decode (magic, structure, CRC), canonical re-encode byte-identity, and
+// codec restorability.
+func verifyProfileFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	p, err := profile.Decode(data)
+	if err != nil {
+		return err
+	}
+	again, err := p.Encode()
+	if err != nil {
+		return fmt.Errorf("re-encode: %w", err)
+	}
+	if !bytes.Equal(data, again) {
+		return fmt.Errorf("re-encode is not byte-identical (non-canonical file)")
+	}
+	if _, err := deepnjpeg.NewCodecFromProfile(p); err != nil {
+		return fmt.Errorf("restore: %w", err)
 	}
 	return nil
 }
@@ -594,19 +859,26 @@ func parseTenants(spec string, defaultLimit int) (map[string]deepnjpeg.TenantLim
 	return tenants, nil
 }
 
-// runServe calibrates a codec on SynthNet and serves it over HTTP until
-// SIGINT/SIGTERM, then drains in-flight requests before exiting.
+// runServe serves the codec over HTTP until SIGINT/SIGTERM, then drains
+// in-flight requests before exiting. With -profile the default table set
+// loads from a persisted profile — no startup calibration at all;
+// without it the server calibrates on SynthNet at boot (the historical
+// behavior, and the slow path -profile exists to avoid).
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	chroma := fs.Bool("chroma", false, "also calibrate a chroma table")
-	fastDCT := fs.Bool("fast-dct", false, "use the AAN fast DCT engine")
+	chroma := fs.Bool("chroma", false, "also calibrate a chroma table (SynthNet boot only)")
+	fastDCT := fs.Bool("fast-dct", false, "use the AAN fast DCT engine (SynthNet boot only)")
 	workers := fs.Int("workers", 0, "per-request batch worker-pool size (0 = GOMAXPROCS)")
 	maxBody := fs.Int64("max-body", 32<<20, "request body cap in bytes (413 beyond)")
 	maxPixels := fs.Int("max-pixels", 1<<24, "declared image dimension cap in pixels")
 	maxBatch := fs.Int("max-batch-items", 256, "part-count cap of one /v1/batch request")
 	maxInFlight := fs.Int("max-in-flight", 16, "per-tenant concurrent request cap (429 beyond)")
 	apiKeys := fs.String("api-keys", "", "comma-separated key[:limit] tenants (empty = open access)")
+	profileDir := fs.String("profile-dir", "", "directory of calibration profiles (*.dnp) to serve")
+	profileRef := fs.String("profile", "", "default profile (name or name@version) from -profile-dir; skips startup calibration")
+	profileWatch := fs.Duration("profile-watch", 0, "poll -profile-dir at this interval and hot-reload changes (0 = off)")
+	adminKey := fs.String("admin-key", "", "API key required by /admin endpoints (empty = any tenant)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -615,24 +887,47 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := deepnjpeg.CalibrateConfig{Chroma: *chroma}
-	if *fastDCT {
-		cfg.Transform = deepnjpeg.TransformAAN
+	if *profileRef != "" && *profileDir == "" {
+		return fmt.Errorf("-profile requires -profile-dir")
 	}
-	codec, err := synthNetCodec(cfg)
+	opts := deepnjpeg.ServerOptions{
+		MaxBodyBytes:   *maxBody,
+		MaxPixels:      *maxPixels,
+		BatchWorkers:   *workers,
+		MaxBatchItems:  *maxBatch,
+		Tenants:        tenants,
+		MaxInFlight:    *maxInFlight,
+		ProfileDir:     *profileDir,
+		DefaultProfile: *profileRef,
+		ProfileWatch:   *profileWatch,
+		AdminKey:       *adminKey,
+	}
+	var codec *deepnjpeg.Codec
+	startLoad := time.Now()
+	if *profileRef == "" {
+		// No profile: calibrate on SynthNet at boot, as before.
+		cfg := deepnjpeg.CalibrateConfig{Chroma: *chroma}
+		if *fastDCT {
+			cfg.Transform = deepnjpeg.TransformAAN
+		}
+		if codec, err = synthNetCodec(cfg); err != nil {
+			return err
+		}
+	}
+	srv, err := deepnjpeg.NewServer(codec, opts)
 	if err != nil {
 		return err
 	}
-	srv, err := deepnjpeg.NewServer(codec, deepnjpeg.ServerOptions{
-		MaxBodyBytes:  *maxBody,
-		MaxPixels:     *maxPixels,
-		BatchWorkers:  *workers,
-		MaxBatchItems: *maxBatch,
-		Tenants:       tenants,
-		MaxInFlight:   *maxInFlight,
-	})
-	if err != nil {
-		return err
+	if *profileRef != "" {
+		// Report what actually resolved (a bare name picks the highest
+		// version) and how fast the profile path boots compared to a
+		// calibration pass.
+		sp := srv.ServingProfile()
+		fmt.Printf("deepn-jpeg serve: profile %s@%d (transform %s, %d-image calibration) loaded in %v — startup calibration skipped\n",
+			sp.Name, sp.Version, sp.Transform, sp.SampledCount, time.Since(startLoad).Round(time.Millisecond))
+	} else {
+		fmt.Printf("deepn-jpeg serve: SynthNet calibration in %v (persist it with `deepn-jpeg calibrate -out` and boot with -profile to skip this)\n",
+			time.Since(startLoad).Round(time.Millisecond))
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -64,6 +64,29 @@
 // second generation loss. This is how a storage system retrofits
 // DeepN-JPEG tables onto an archive of already-compressed images.
 //
+// # Calibration profiles
+//
+// Calibration is the expensive step — a statistics pass over the whole
+// training set — and its product is worth managing like any model
+// artifact. SaveProfile persists a calibrated Codec as a named,
+// versioned, CRC-protected profile file (including the quantization
+// tables, the fitted mapping, and the per-band statistics they came
+// from); LoadProfile and NewCodecFromProfile restore it, producing
+// streams byte-identical to the original codec:
+//
+//	err  = codec.SaveProfile("profiles/imagenet@1.dnp",
+//	    deepnjpeg.ProfileMeta{Name: "imagenet", Version: 1})
+//	p, _ := deepnjpeg.LoadProfile("profiles/imagenet@1.dnp")
+//	codec2, _ := deepnjpeg.NewCodecFromProfile(p)
+//
+// A directory of profiles becomes a serving registry: ServerOptions.
+// ProfileDir loads it, DefaultProfile selects the table set the server
+// boots with (no startup calibration), tenants pin their own default via
+// TenantLimits.Profile, and any request may select one with ?profile=
+// name or name@version. The `deepn-jpeg calibrate` and `deepn-jpeg
+// profiles` subcommands write, list, inspect and verify profile files
+// from the command line.
+//
 // # Serving over HTTP
 //
 // NewServer wraps a calibrated Codec in a multi-tenant HTTP service
@@ -88,6 +111,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -96,6 +120,7 @@ import (
 	"repro/internal/jpegcodec"
 	"repro/internal/pipeline"
 	"repro/internal/plm"
+	"repro/internal/profile"
 	"repro/internal/qtable"
 	"repro/internal/server"
 )
@@ -458,6 +483,66 @@ func requantizeBatch(ctx context.Context, streams [][]byte, luma, chroma QuantTa
 	})
 }
 
+// Profile is a persisted calibration artifact: named, versioned,
+// CRC-protected, carrying the quantization tables plus the statistics
+// and mapping parameters that produced them. See repro/internal/profile
+// for the on-disk format.
+type Profile = profile.Profile
+
+// ProfileMeta names a calibration being saved as a profile.
+type ProfileMeta struct {
+	// Name identifies the calibration (typically the dataset or task):
+	// 1..64 characters of [a-z0-9._-], starting with a letter or digit.
+	Name string
+	// Version distinguishes successive calibrations under one name
+	// (≥ 1); registries resolve a bare name to its highest version.
+	Version uint32
+	// Comment is free-form provenance.
+	Comment string
+	// CreatedUnix stamps the profile; 0 means time.Now.
+	CreatedUnix int64
+}
+
+// Profile captures the codec's calibration as a persistable profile.
+func (c *Codec) Profile(meta ProfileMeta) (*Profile, error) {
+	if meta.CreatedUnix == 0 {
+		meta.CreatedUnix = time.Now().Unix()
+	}
+	return profile.FromFramework(c.fw, profile.Meta{
+		Name:        meta.Name,
+		Version:     meta.Version,
+		Comment:     meta.Comment,
+		CreatedUnix: meta.CreatedUnix,
+	})
+}
+
+// SaveProfile persists the codec's calibration to path (conventionally
+// <name>@<version>.dnp) with an atomic write, so profile directories
+// being served never expose a torn file.
+func (c *Codec) SaveProfile(path string, meta ProfileMeta) error {
+	p, err := c.Profile(meta)
+	if err != nil {
+		return err
+	}
+	return p.Write(path)
+}
+
+// LoadProfile reads and verifies one profile file (magic, structure,
+// CRC).
+func LoadProfile(path string) (*Profile, error) { return profile.Read(path) }
+
+// NewCodecFromProfile restores the codec a profile was saved from. The
+// restored codec produces streams byte-identical to the original — the
+// property that makes profiles safe substitutes for boot-time
+// calibration.
+func NewCodecFromProfile(p *Profile) (*Codec, error) {
+	fw, err := p.Framework()
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{fw: fw}, nil
+}
+
 // TenantLimits configures one API key of a Server.
 type TenantLimits = server.TenantConfig
 
@@ -483,6 +568,24 @@ type ServerOptions struct {
 	// tenant doesn't set its own (default 16). Requests beyond the cap
 	// answer 429 immediately instead of queueing.
 	MaxInFlight int
+	// ProfileDir, when set, loads a registry of persisted calibration
+	// profiles (*.dnp) that requests select with ?profile=name[@version]
+	// and tenants pin via TenantLimits.Profile. POST /admin/profiles/
+	// reload rescans it without a restart.
+	ProfileDir string
+	// DefaultProfile serves the named profile as the default table set
+	// instead of the Codec passed to NewServer (which may then be nil).
+	// Requires ProfileDir.
+	DefaultProfile string
+	// ProfileWatch, when positive, polls ProfileDir at this interval and
+	// hot-reloads changed profiles automatically. The watcher stops at
+	// Shutdown.
+	ProfileWatch time.Duration
+	// AdminKey, when set, gates the /admin/* endpoints (profile reload)
+	// behind its own key, so ordinary codec tenants cannot trigger
+	// administrative actions. Empty leaves admin endpoints behind the
+	// normal tenant gate only.
+	AdminKey string
 }
 
 // Server is the HTTP front end of a calibrated Codec: POST /v1/encode,
@@ -498,21 +601,49 @@ type Server struct {
 
 // NewServer builds the HTTP service around the codec's calibrated
 // tables. The Codec stays usable (and safe) for direct calls while the
-// server runs.
+// server runs. c may be nil when ServerOptions.DefaultProfile names the
+// profile to serve instead — the profile-backed server needs no boot-time
+// calibration at all.
 func NewServer(c *Codec, opts ServerOptions) (*Server, error) {
+	var fw *core.Framework
+	if c != nil {
+		fw = c.fw
+	}
 	s, err := server.New(server.Options{
-		Framework:     c.fw,
-		MaxBodyBytes:  opts.MaxBodyBytes,
-		MaxPixels:     opts.MaxPixels,
-		BatchWorkers:  opts.BatchWorkers,
-		MaxBatchItems: opts.MaxBatchItems,
-		Tenants:       opts.Tenants,
-		MaxInFlight:   opts.MaxInFlight,
+		Framework:      fw,
+		MaxBodyBytes:   opts.MaxBodyBytes,
+		MaxPixels:      opts.MaxPixels,
+		BatchWorkers:   opts.BatchWorkers,
+		MaxBatchItems:  opts.MaxBatchItems,
+		Tenants:        opts.Tenants,
+		MaxInFlight:    opts.MaxInFlight,
+		ProfileDir:     opts.ProfileDir,
+		DefaultProfile: opts.DefaultProfile,
+		ProfileWatch:   opts.ProfileWatch,
+		AdminKey:       opts.AdminKey,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Server{s: s}, nil
+}
+
+// ServingProfile describes the default table set a Server is serving.
+// Name is empty when the server runs on an in-memory Codec rather than
+// a persisted profile.
+type ServingProfile struct {
+	Name         string
+	Version      uint32
+	Transform    Transform
+	SampledCount int
+}
+
+// ServingProfile reports what the server's default requests run
+// against right now; after a hot reload it reflects the freshly
+// resolved profile.
+func (s *Server) ServingProfile() ServingProfile {
+	name, version, transform, sampled := s.s.ServingProfile()
+	return ServingProfile{Name: name, Version: version, Transform: transform, SampledCount: sampled}
 }
 
 // Handler returns the route table for mounting under an external

@@ -133,6 +133,39 @@ func Calibrate(ds *dataset.Dataset, opts CalibrateOptions) (*Framework, error) {
 	return f, nil
 }
 
+// Restore rebuilds a Framework from persisted calibration state — the
+// statistics, PLM parameters and tables a calibration profile carries —
+// without rerunning the design flow. The segmentation is recomputed from
+// the statistics by δ magnitude (the paper's proposal and the only
+// segmentation persisted profiles are written from); everything the
+// encode, decode and requantize paths consume (tables, transform,
+// statistics) is taken verbatim, so a restored Framework encodes
+// byte-identically to the one it was saved from.
+func Restore(params plm.Params, stats, chromaStats *freqstat.Stats, luma, chroma qtable.Table, sampled int, transform dct.Transform) (*Framework, error) {
+	if stats == nil {
+		return nil, fmt.Errorf("core: Restore needs luma statistics")
+	}
+	if !transform.Valid() {
+		return nil, fmt.Errorf("core: unknown transform engine %d", transform)
+	}
+	if err := luma.Validate(); err != nil {
+		return nil, fmt.Errorf("core: restored luma table: %w", err)
+	}
+	if err := chroma.Validate(); err != nil {
+		return nil, fmt.Errorf("core: restored chroma table: %w", err)
+	}
+	return &Framework{
+		Params:       params,
+		Seg:          freqstat.SegmentByMagnitude(stats),
+		Stats:        stats,
+		ChromaStats:  chromaStats,
+		LumaTable:    luma,
+		ChromaTable:  chroma,
+		SampledCount: sampled,
+		Transform:    transform,
+	}, nil
+}
+
 // accumulateStats folds the sampled images into per-band accumulators,
 // fanning the work across workers when more than one is requested. Each
 // worker owns a contiguous chunk of idx fixed by index arithmetic, and

@@ -8,6 +8,7 @@
 package freqstat
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -146,6 +147,43 @@ type Stats struct {
 	Std    [64]float64 // δ(i,j) in the paper
 	Min    [64]float64
 	Max    [64]float64
+}
+
+// StatsBinarySize is the length of a Stats value's canonical binary
+// encoding: the block count followed by the four per-band arrays.
+const StatsBinarySize = 8 + 4*64*8
+
+// AppendBinary appends the canonical binary encoding of the statistics to
+// b and returns the extended slice: the block count as a big-endian
+// int64, then Mean, Std, Min and Max as 64 big-endian IEEE-754 bit
+// patterns each. Encoding the exact bit patterns (rather than a decimal
+// rendering) makes persisted statistics round-trip bit-for-bit, which the
+// profile format needs for byte-identical re-encodes.
+func (s *Stats) AppendBinary(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(s.Blocks))
+	for _, arr := range [...]*[64]float64{&s.Mean, &s.Std, &s.Min, &s.Max} {
+		for _, v := range arr {
+			b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+		}
+	}
+	return b
+}
+
+// StatsFromBinary parses the first StatsBinarySize bytes of b as a
+// canonical statistics encoding, the exact inverse of AppendBinary.
+func StatsFromBinary(b []byte) (*Stats, error) {
+	if len(b) < StatsBinarySize {
+		return nil, fmt.Errorf("freqstat: %d bytes for a %d-byte statistics encoding", len(b), StatsBinarySize)
+	}
+	s := &Stats{Blocks: int64(binary.BigEndian.Uint64(b))}
+	b = b[8:]
+	for _, arr := range [...]*[64]float64{&s.Mean, &s.Std, &s.Min, &s.Max} {
+		for i := range arr {
+			arr[i] = math.Float64frombits(binary.BigEndian.Uint64(b))
+			b = b[8:]
+		}
+	}
+	return s, nil
 }
 
 // LaplaceScale returns the maximum-entropy Laplace scale parameter b for a

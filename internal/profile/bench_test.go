@@ -1,0 +1,49 @@
+package profile
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkProfileEncode(b *testing.B) {
+	p := syntheticProfile(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProfileDecode(b *testing.B) {
+	data := encodeOK(b, syntheticProfile(true))
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistryResolve measures the per-request cost of profile
+// selection — the hot path every ?profile= request pays. The framework
+// cache must make this a map lookup, not a restore.
+func BenchmarkRegistryResolve(b *testing.B) {
+	dir := b.TempDir()
+	p := syntheticProfile(false)
+	if err := p.Write(filepath.Join(dir, p.FileName())); err != nil {
+		b.Fatal(err)
+	}
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := reg.ResolveFramework("synthetic"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

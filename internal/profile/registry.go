@@ -1,0 +1,271 @@
+package profile
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Registry serves the profiles of one directory, resolved by name or
+// name@version references. It is safe for concurrent use: lookups take a
+// read lock over an immutable snapshot, and Reload swaps a freshly
+// scanned snapshot in atomically, so requests holding frameworks from
+// the previous snapshot keep serving with them — a hot reload never
+// disturbs in-flight work.
+type Registry struct {
+	dir string
+
+	mu          sync.RWMutex
+	entries     map[string]map[uint32]*entry // name → version → entry
+	fingerprint string
+
+	loads atomic.Int64 // successful scan passes (initial load counts)
+}
+
+// entry pairs a loaded profile with its source file and a lazily built,
+// cached framework, so per-request profile selection does not pay the
+// restore cost on every request.
+type entry struct {
+	profile *Profile
+	path    string
+	modTime time.Time
+	size    int64
+
+	once  sync.Once
+	fw    *core.Framework
+	fwErr error
+}
+
+func (e *entry) framework() (*core.Framework, error) {
+	e.once.Do(func() { e.fw, e.fwErr = e.profile.Framework() })
+	return e.fw, e.fwErr
+}
+
+// OpenRegistry scans dir for profile files (*.dnp) and returns the
+// registry serving them. The directory must exist; an empty directory is
+// a valid (empty) registry. Files that fail to decode are skipped and
+// reported through the returned error while every readable profile still
+// loads — a single corrupt artifact must not take down serving.
+func OpenRegistry(dir string) (*Registry, error) {
+	r := &Registry{dir: dir}
+	if _, err := r.Reload(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// Dir returns the directory the registry scans.
+func (r *Registry) Dir() string { return r.dir }
+
+// Loads reports how many successful scan passes the registry has run —
+// the profile-(re)load counter surfaced by the serving layer.
+func (r *Registry) Loads() int64 { return r.loads.Load() }
+
+// Reload rescans the directory and atomically swaps the served snapshot.
+// It returns the number of profiles now served. Per-file decode failures
+// and duplicate name@version pairs are joined into the error while the
+// healthy remainder is still swapped in; the error is nil only when every
+// file loaded cleanly. Entries whose file is unchanged (same path, size,
+// mtime) carry their cached framework over, so a reload is cheap and
+// in-flight requests see either the old or the new snapshot, never a mix.
+func (r *Registry) Reload() (int, error) {
+	names, fingerprint, err := r.scanDir()
+	if err != nil {
+		return 0, err
+	}
+
+	r.mu.RLock()
+	prev := r.entries
+	r.mu.RUnlock()
+
+	next := make(map[string]map[uint32]*entry)
+	var errs []error
+	n := 0
+	for _, name := range names {
+		path := filepath.Join(r.dir, name)
+		st, err := os.Stat(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		e := reuseEntry(prev, path, st.Size(), st.ModTime())
+		if e == nil {
+			p, err := Read(path)
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			e = &entry{profile: p, path: path, modTime: st.ModTime(), size: st.Size()}
+		}
+		byVersion := next[e.profile.Name]
+		if byVersion == nil {
+			byVersion = make(map[uint32]*entry)
+			next[e.profile.Name] = byVersion
+		}
+		if dup, ok := byVersion[e.profile.Version]; ok {
+			errs = append(errs, fmt.Errorf("profile: %s and %s both declare %s",
+				dup.path, path, e.profile.Ref()))
+			continue
+		}
+		byVersion[e.profile.Version] = e
+		n++
+	}
+
+	r.mu.Lock()
+	r.entries = next
+	r.fingerprint = fingerprint
+	r.mu.Unlock()
+	r.loads.Add(1)
+	return n, errors.Join(errs...)
+}
+
+// scanDir lists the profile files of the directory in sorted order plus
+// a fingerprint of their (name, size, mtime) triples for change polling.
+func (r *Registry) scanDir() ([]string, string, error) {
+	dirents, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var names []string
+	var fp strings.Builder
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), Ext) {
+			continue
+		}
+		names = append(names, de.Name())
+		if info, err := de.Info(); err == nil {
+			fmt.Fprintf(&fp, "%s|%d|%d\n", de.Name(), info.Size(), info.ModTime().UnixNano())
+		}
+	}
+	sort.Strings(names)
+	return names, fp.String(), nil
+}
+
+// reuseEntry returns the previous snapshot's entry for path when the file
+// is unchanged, preserving its cached framework.
+func reuseEntry(prev map[string]map[uint32]*entry, path string, size int64, modTime time.Time) *entry {
+	for _, byVersion := range prev {
+		for _, e := range byVersion {
+			if e.path == path && e.size == size && e.modTime.Equal(modTime) {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// resolve finds the entry a reference names: an explicit name@version, or
+// the highest version under a bare name.
+func (r *Registry) resolve(ref string) (*entry, error) {
+	name, version, hasVersion, err := ParseRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	byVersion := r.entries[name]
+	r.mu.RUnlock()
+	if len(byVersion) == 0 {
+		return nil, fmt.Errorf("%w: %q in %s", ErrNotFound, ref, r.dir)
+	}
+	if hasVersion {
+		e, ok := byVersion[version]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q in %s", ErrNotFound, ref, r.dir)
+		}
+		return e, nil
+	}
+	var best *entry
+	for _, e := range byVersion {
+		if best == nil || e.profile.Version > best.profile.Version {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// Resolve returns the profile a reference names ("name" resolves to the
+// highest version, "name@N" to that exact version). Unknown references
+// return an error wrapping ErrNotFound.
+func (r *Registry) Resolve(ref string) (*Profile, error) {
+	e, err := r.resolve(ref)
+	if err != nil {
+		return nil, err
+	}
+	return e.profile, nil
+}
+
+// ResolveFramework resolves a reference and returns the ready-to-serve
+// framework restored from it, cached per loaded profile.
+func (r *Registry) ResolveFramework(ref string) (*core.Framework, *Profile, error) {
+	e, err := r.resolve(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	fw, err := e.framework()
+	if err != nil {
+		return nil, nil, err
+	}
+	return fw, e.profile, nil
+}
+
+// List returns every served profile ordered by name, then version.
+func (r *Registry) List() []*Profile {
+	r.mu.RLock()
+	var out []*Profile
+	for _, byVersion := range r.entries {
+		for _, e := range byVersion {
+			out = append(out, e.profile)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// Watch polls the directory every interval and reloads when the file set
+// changes (names, sizes or mtimes), calling onReload — which may be nil —
+// after each triggered reload with Reload's results. It blocks until ctx
+// is done, so callers run it in a goroutine; a failed poll or reload
+// leaves the current snapshot serving and retries next tick.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration, onReload func(int, error)) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			_, fingerprint, err := r.scanDir()
+			if err != nil {
+				continue
+			}
+			r.mu.RLock()
+			changed := fingerprint != r.fingerprint
+			r.mu.RUnlock()
+			if !changed {
+				continue
+			}
+			n, err := r.Reload()
+			if onReload != nil {
+				onReload(n, err)
+			}
+		}
+	}
+}

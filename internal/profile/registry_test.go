@@ -1,0 +1,195 @@
+package profile
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeVersions persists the synthetic fixture under several
+// name/version identities into dir.
+func writeVersions(tb testing.TB, dir string, refs ...Meta) {
+	tb.Helper()
+	for _, m := range refs {
+		p := syntheticProfile(false)
+		p.Name, p.Version = m.Name, m.Version
+		// Distinguish versions observably: bump the DC step.
+		p.Luma[0] = uint16(1 + m.Version)
+		if err := p.Write(filepath.Join(dir, p.FileName())); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	dir := t.TempDir()
+	writeVersions(t, dir,
+		Meta{Name: "alpha", Version: 1}, Meta{Name: "alpha", Version: 3},
+		Meta{Name: "alpha", Version: 2}, Meta{Name: "beta", Version: 1})
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(reg.List()); got != 4 {
+		t.Fatalf("serving %d profiles, want 4", got)
+	}
+	if p, err := reg.Resolve("alpha"); err != nil || p.Version != 3 {
+		t.Fatalf("bare name resolved to %+v, %v (want highest version 3)", p, err)
+	}
+	if p, err := reg.Resolve("alpha@2"); err != nil || p.Version != 2 {
+		t.Fatalf("alpha@2 resolved to %+v, %v", p, err)
+	}
+	if _, err := reg.Resolve("alpha@9"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("alpha@9: %v, want ErrNotFound", err)
+	}
+	if _, err := reg.Resolve("gamma"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("gamma: %v, want ErrNotFound", err)
+	}
+	if _, err := reg.Resolve("Not A Name"); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("malformed ref: %v, want a parse error", err)
+	}
+	// List is ordered by name then version.
+	var order []string
+	for _, p := range reg.List() {
+		order = append(order, p.Ref())
+	}
+	want := "alpha@1,alpha@2,alpha@3,beta@1"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("List order %s, want %s", got, want)
+	}
+}
+
+func TestRegistryFrameworkCachedAndDistinct(t *testing.T) {
+	dir := t.TempDir()
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 1}, Meta{Name: "alpha", Version: 2})
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw1, p1, err := reg.ResolveFramework("alpha@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw2, _, err := reg.ResolveFramework("alpha@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw1.LumaTable[0] != 2 || fw2.LumaTable[0] != 3 {
+		t.Fatalf("versions served wrong tables: %d, %d", fw1.LumaTable[0], fw2.LumaTable[0])
+	}
+	again, p1again, err := reg.ResolveFramework("alpha@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != fw1 || p1again != p1 {
+		t.Fatal("repeated resolution rebuilt the framework instead of serving the cache")
+	}
+}
+
+func TestRegistryReload(t *testing.T) {
+	dir := t.TempDir()
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 1})
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Loads() != 1 {
+		t.Fatalf("loads %d after open, want 1", reg.Loads())
+	}
+	fwOld, _, err := reg.ResolveFramework("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 2})
+	n, err := reg.Reload()
+	if err != nil || n != 2 {
+		t.Fatalf("reload: %d profiles, %v", n, err)
+	}
+	if reg.Loads() != 2 {
+		t.Fatalf("loads %d after reload, want 2", reg.Loads())
+	}
+	if p, err := reg.Resolve("alpha"); err != nil || p.Version != 2 {
+		t.Fatalf("post-reload alpha resolved to %+v, %v", p, err)
+	}
+	// The unchanged file's cached framework must survive the reload.
+	fwSame, _, err := reg.ResolveFramework("alpha@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwSame != fwOld {
+		t.Fatal("reload dropped the cached framework of an unchanged file")
+	}
+}
+
+func TestRegistryToleratesCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 1})
+	if err := os.WriteFile(filepath.Join(dir, "junk.dnp"), []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(dir)
+	if err == nil {
+		t.Fatal("corrupt file went unreported")
+	}
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("error %v, want ErrBadMagic", err)
+	}
+	// The healthy profile still serves.
+	if _, rerr := reg.Resolve("alpha"); rerr != nil {
+		t.Fatalf("healthy profile lost: %v", rerr)
+	}
+}
+
+func TestRegistryRejectsDuplicateRefs(t *testing.T) {
+	dir := t.TempDir()
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 1})
+	// Same name@version under a different file name.
+	p := syntheticProfile(false)
+	p.Name, p.Version = "alpha", 1
+	if err := p.Write(filepath.Join(dir, "copy.dnp")); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(dir)
+	if err == nil || !strings.Contains(err.Error(), "both declare alpha@1") {
+		t.Fatalf("duplicate declaration not reported: %v", err)
+	}
+	if _, rerr := reg.Resolve("alpha@1"); rerr != nil {
+		t.Fatalf("first copy should still serve: %v", rerr)
+	}
+}
+
+func TestRegistryWatch(t *testing.T) {
+	dir := t.TempDir()
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 1})
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reloaded := make(chan int, 8)
+	go reg.Watch(ctx, 5*time.Millisecond, func(n int, err error) {
+		if err != nil {
+			t.Errorf("watch reload: %v", err)
+		}
+		reloaded <- n
+	})
+
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 2})
+	select {
+	case n := <-reloaded:
+		if n != 2 {
+			t.Fatalf("watch reloaded %d profiles, want 2", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watcher never noticed the new profile")
+	}
+	if p, err := reg.Resolve("alpha"); err != nil || p.Version != 2 {
+		t.Fatalf("post-watch alpha resolved to %+v, %v", p, err)
+	}
+}

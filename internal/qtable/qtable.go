@@ -12,6 +12,7 @@
 package qtable
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 )
@@ -185,6 +186,36 @@ func FromZigZag(z [64]uint16) Table {
 		t[n] = z[zi]
 	}
 	return t
+}
+
+// BinarySize is the length of a table's canonical binary encoding:
+// 64 big-endian uint16 steps in natural order.
+const BinarySize = 128
+
+// AppendBinary appends the canonical binary encoding of the table to b
+// and returns the extended slice. The encoding is deterministic, so a
+// table always serializes to the same bytes — the property the persistent
+// profile format builds its byte-identical round trips on.
+func (t Table) AppendBinary(b []byte) []byte {
+	for _, q := range t {
+		b = binary.BigEndian.AppendUint16(b, q)
+	}
+	return b
+}
+
+// TableFromBinary parses the first BinarySize bytes of b as a canonical
+// table encoding. It is the exact inverse of AppendBinary; values outside
+// the legal baseline range are reported by Validate, not here, so callers
+// decide how strict to be.
+func TableFromBinary(b []byte) (Table, error) {
+	var t Table
+	if len(b) < BinarySize {
+		return t, fmt.Errorf("qtable: %d bytes for a %d-byte table encoding", len(b), BinarySize)
+	}
+	for i := range t {
+		t[i] = binary.BigEndian.Uint16(b[2*i:])
+	}
+	return t, nil
 }
 
 // Mean returns the average step, a coarse aggressiveness measure.

@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -48,15 +49,50 @@ import (
 	"repro/internal/imgutil"
 	"repro/internal/jpegcodec"
 	"repro/internal/pipeline"
+	"repro/internal/profile"
 	"repro/internal/qtable"
 )
 
-// Options configures a Server. Framework is required; every other field
-// has a serving-safe default.
+// servingProfile is the immutable default-serving state one atomic
+// pointer swap publishes: the restored framework plus the identity
+// /healthz and /metrics report. Name is empty when the server runs on an
+// in-memory Framework rather than a persisted profile.
+type servingProfile struct {
+	fw      *core.Framework
+	name    string
+	version uint32
+}
+
+// Options configures a Server. Either Framework or a ProfileDir with a
+// DefaultProfile is required; every other field has a serving-safe
+// default.
 type Options struct {
 	// Framework supplies the calibrated tables and default transform
-	// engine the unqualified encode/requantize paths use.
+	// engine the unqualified encode/requantize paths use. Optional when
+	// DefaultProfile names a profile to serve instead.
 	Framework *core.Framework
+	// ProfileDir, when set, loads a registry of persisted calibration
+	// profiles (*.dnp) the server resolves ?profile= references and
+	// per-tenant defaults against. Construction fails if any file in the
+	// directory is corrupt — a server must not boot over a damaged
+	// artifact store — while runtime reloads are lenient and keep
+	// serving the healthy remainder.
+	ProfileDir string
+	// DefaultProfile selects the profile ("name" or "name@version") the
+	// server boots with instead of Framework; requires ProfileDir. A
+	// reload re-resolves it, hot-swapping the default tables without
+	// disturbing in-flight requests.
+	DefaultProfile string
+	// ProfileWatch, when positive, polls ProfileDir at this interval and
+	// hot-reloads the registry when files change. The watcher stops at
+	// Shutdown.
+	ProfileWatch time.Duration
+	// AdminKey, when set, is required (as X-API-Key or Bearer token) by
+	// the /admin/* endpoints in addition to normal tenant admission, so
+	// ordinary codec tenants cannot trigger reloads. Empty leaves admin
+	// endpoints behind the ordinary tenant gate only — acceptable for
+	// development, not for multi-tenant production.
+	AdminKey string
 	// MaxBodyBytes caps request bodies (default 32 MiB); larger bodies
 	// answer 413.
 	MaxBodyBytes int64
@@ -102,6 +138,17 @@ type Server struct {
 
 	tenants map[string]*tenant // keyed by API key
 	anon    *tenant            // the open-access tenant when no keys are set
+	admin   *tenant            // implicit tenant behind Options.AdminKey
+
+	// registry serves persisted calibration profiles when ProfileDir is
+	// set; serving holds the current default table set. Handlers load the
+	// pointer once per request, so a concurrent hot reload swaps what
+	// later requests see while in-flight ones finish on the snapshot they
+	// started with.
+	registry   *profile.Registry
+	defaultRef string
+	serving    atomic.Pointer[servingProfile]
+	stopWatch  context.CancelFunc
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -131,8 +178,11 @@ type Server struct {
 
 // New validates opts, fills defaults and builds the route table.
 func New(opts Options) (*Server, error) {
-	if opts.Framework == nil {
-		return nil, errors.New("server: Options.Framework is required")
+	if opts.Framework == nil && opts.DefaultProfile == "" {
+		return nil, errors.New("server: Options.Framework or Options.DefaultProfile is required")
+	}
+	if opts.DefaultProfile != "" && opts.ProfileDir == "" {
+		return nil, errors.New("server: Options.DefaultProfile requires Options.ProfileDir")
 	}
 	opts = opts.withDefaults()
 	s := &Server{
@@ -140,6 +190,23 @@ func New(opts Options) (*Server, error) {
 		mux:     http.NewServeMux(),
 		tenants: make(map[string]*tenant, len(opts.Tenants)),
 		start:   time.Now(),
+	}
+	if opts.ProfileDir != "" {
+		reg, err := profile.OpenRegistry(opts.ProfileDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: loading profile directory: %w", err)
+		}
+		s.registry = reg
+	}
+	s.defaultRef = opts.DefaultProfile
+	if s.defaultRef != "" {
+		fw, p, err := s.registry.ResolveFramework(s.defaultRef)
+		if err != nil {
+			return nil, fmt.Errorf("server: resolving default profile: %w", err)
+		}
+		s.serving.Store(&servingProfile{fw: fw, name: p.Name, version: p.Version})
+	} else {
+		s.serving.Store(&servingProfile{fw: opts.Framework})
 	}
 	s.bufPool.New = func() any { return new(bytes.Buffer) }
 	s.decPool.New = func() any { return new(jpegcodec.Decoded) }
@@ -155,13 +222,28 @@ func New(opts Options) (*Server, error) {
 		if limit <= 0 {
 			limit = opts.MaxInFlight
 		}
-		t := newTenant(name, limit)
+		if cfg.Profile != "" {
+			if s.registry == nil {
+				return nil, fmt.Errorf("server: tenant %q pins profile %q but no ProfileDir is configured", name, cfg.Profile)
+			}
+			if _, err := s.registry.Resolve(cfg.Profile); err != nil {
+				return nil, fmt.Errorf("server: tenant %q: %w", name, err)
+			}
+		}
+		t := newTenant(name, limit, cfg.Profile)
 		s.tenants[key] = t
 		tenantVars.Set(name, t.vars)
 	}
 	if len(s.tenants) == 0 {
-		s.anon = newTenant("anonymous", opts.MaxInFlight)
+		s.anon = newTenant("anonymous", opts.MaxInFlight, "")
 		tenantVars.Set("anonymous", s.anon.vars)
+	}
+	if opts.AdminKey != "" {
+		if _, clash := s.tenants[opts.AdminKey]; clash {
+			return nil, errors.New("server: Options.AdminKey collides with a tenant API key")
+		}
+		s.admin = newTenant("admin", opts.MaxInFlight, "")
+		tenantVars.Set("admin", s.admin.vars)
 	}
 
 	m := new(expvar.Map).Init()
@@ -175,15 +257,128 @@ func New(opts Options) (*Server, error) {
 	m.Set("bytes_out", &s.bytesOut)
 	m.Set("in_flight", &s.inFlight)
 	m.Set("tenants", tenantVars)
+	m.Set("profile", expvar.Func(func() any { return s.profileStatus() }))
 	s.metrics = m
 
 	s.mux.HandleFunc("/v1/encode", s.endpoint(s.handleEncode))
 	s.mux.HandleFunc("/v1/decode", s.endpoint(s.handleDecode))
 	s.mux.HandleFunc("/v1/requantize", s.endpoint(s.handleRequantize))
 	s.mux.HandleFunc("/v1/batch", s.endpoint(s.handleBatch))
+	s.mux.HandleFunc("/admin/profiles/reload", s.endpoint(s.handleProfileReload))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+
+	// The watcher starts only once every validation above has passed, so
+	// a failed New never leaks a polling goroutine.
+	if s.registry != nil && opts.ProfileWatch > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.stopWatch = cancel
+		go s.registry.Watch(ctx, opts.ProfileWatch, func(int, error) { s.reresolveDefault() })
+	}
 	return s, nil
+}
+
+// ServingProfile reports the default table set currently being served:
+// the profile's name and version (empty/0 when the server runs on an
+// in-memory calibration) plus the restored framework's transform engine
+// and calibration size.
+func (s *Server) ServingProfile() (name string, version uint32, transform dct.Transform, sampled int) {
+	sp := s.serving.Load()
+	return sp.name, sp.version, sp.fw.Transform, sp.fw.SampledCount
+}
+
+// profileStatus is the profile block /healthz and /metrics share: which
+// default table set is serving and how many registry (re)loads have run.
+// An empty name means the server runs on an in-memory calibration rather
+// than a persisted profile.
+func (s *Server) profileStatus() map[string]any {
+	sp := s.serving.Load()
+	var loads int64
+	if s.registry != nil {
+		loads = s.registry.Loads()
+	}
+	return map[string]any{
+		"name":    sp.name,
+		"version": sp.version,
+		"loads":   loads,
+	}
+}
+
+// reresolveDefault re-resolves the default profile reference after a
+// registry reload and publishes the fresh framework with one atomic
+// swap. In-flight requests keep the snapshot they loaded; if the default
+// no longer resolves (its file was removed), the previous snapshot keeps
+// serving, so a bad deploy degrades to "stale tables", never to downtime.
+func (s *Server) reresolveDefault() error {
+	if s.defaultRef == "" || s.registry == nil {
+		return nil
+	}
+	fw, p, err := s.registry.ResolveFramework(s.defaultRef)
+	if err != nil {
+		return err
+	}
+	s.serving.Store(&servingProfile{fw: fw, name: p.Name, version: p.Version})
+	return nil
+}
+
+// frameworkFor selects the table set one request runs against, in
+// precedence order: the ?profile= query parameter, the tenant's pinned
+// profile, the server default. Unknown references answer 404 with the
+// JSON error envelope; malformed ones 400.
+func (s *Server) frameworkFor(q url.Values, t *tenant) (*core.Framework, error) {
+	ref := q.Get("profile")
+	if ref == "" {
+		ref = t.profileRef
+	}
+	if ref == "" {
+		return s.serving.Load().fw, nil
+	}
+	if s.registry == nil {
+		return nil, errf(http.StatusNotFound, "unknown_profile",
+			"profile %q requested but the server has no profile directory", ref)
+	}
+	fw, _, err := s.registry.ResolveFramework(ref)
+	if err != nil {
+		if errors.Is(err, profile.ErrNotFound) {
+			return nil, errf(http.StatusNotFound, "unknown_profile", "%v", err)
+		}
+		return nil, errf(http.StatusBadRequest, "bad_profile", "%v", err)
+	}
+	return fw, nil
+}
+
+// handleProfileReload is the admin endpoint behind hot reloads: rescan
+// the profile directory, re-resolve the default, and report what is now
+// serving. Per-file failures are reported but do not abort the reload —
+// the healthy profiles still swap in.
+func (s *Server) handleProfileReload(w http.ResponseWriter, r *http.Request, t *tenant) error {
+	if s.opts.AdminKey != "" && requestKey(r) != s.opts.AdminKey {
+		return errf(http.StatusForbidden, "admin_key_required",
+			"admin endpoints require the configured admin key")
+	}
+	if s.registry == nil {
+		return errf(http.StatusNotFound, "no_profile_registry",
+			"the server was started without a profile directory")
+	}
+	n, reloadErr := s.registry.Reload()
+	resolveErr := s.reresolveDefault()
+	resp := map[string]any{
+		"profiles": n,
+		"loads":    s.registry.Loads(),
+		"profile":  s.profileStatus(),
+	}
+	var problems []string
+	if reloadErr != nil {
+		problems = append(problems, reloadErr.Error())
+	}
+	if resolveErr != nil {
+		problems = append(problems, fmt.Sprintf("default profile %q: %v", s.defaultRef, resolveErr))
+	}
+	if len(problems) > 0 {
+		resp["errors"] = problems
+	}
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(resp)
 }
 
 // Handler returns the route table for mounting under an external
@@ -214,6 +409,9 @@ func (s *Server) ListenAndServe(addr string) error {
 // expires), and idle keep-alive connections are closed. A server that
 // never served is a no-op.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.stopWatch != nil {
+		s.stopWatch()
+	}
 	s.mu.Lock()
 	srv := s.httpSrv
 	s.mu.Unlock()
@@ -287,16 +485,28 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// requestKey extracts the API key of a request (X-API-Key, or an
+// Authorization: Bearer token).
+func requestKey(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		return strings.TrimPrefix(auth, "Bearer ")
+	}
+	return ""
+}
+
 // resolveTenant authenticates the request against the API-key table.
+// The admin key (when configured) admits its own implicit tenant, so an
+// operator does not need a codec tenancy to hit /admin endpoints.
 func (s *Server) resolveTenant(r *http.Request) (*tenant, *apiError) {
+	key := requestKey(r)
+	if s.admin != nil && key == s.opts.AdminKey {
+		return s.admin, nil
+	}
 	if s.anon != nil {
 		return s.anon, nil
-	}
-	key := r.Header.Get("X-API-Key")
-	if key == "" {
-		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
-			key = strings.TrimPrefix(auth, "Bearer ")
-		}
 	}
 	if key == "" {
 		return nil, errf(http.StatusUnauthorized, "missing_api_key",
@@ -421,10 +631,11 @@ func stdTablesFor(qf int) (luma, chroma qtable.Table, err error) {
 	return luma, chroma, nil
 }
 
-// encodeOptions assembles the encoder configuration of one request:
-// calibrated tables by default, Annex-K tables when ?quality= is given.
-func (s *Server) encodeOptions(q url.Values) (jpegcodec.Options, error) {
-	opts := s.opts.Framework.Scheme().Opts
+// encodeOptions assembles the encoder configuration of one request
+// against the resolved framework: its calibrated tables by default,
+// Annex-K tables when ?quality= is given.
+func (s *Server) encodeOptions(fw *core.Framework, q url.Values) (jpegcodec.Options, error) {
+	opts := fw.Scheme().Opts
 	if qf, ok, err := parseQuality(q); err != nil {
 		return opts, err
 	} else if ok {
@@ -453,9 +664,9 @@ func (s *Server) encodeOptions(q url.Values) (jpegcodec.Options, error) {
 	return opts, nil
 }
 
-// requantizeTables picks the target tables of a requantize request.
-func (s *Server) requantizeTables(q url.Values) (luma, chroma qtable.Table, err error) {
-	fw := s.opts.Framework
+// requantizeTables picks the target tables of a requantize request
+// against the resolved framework.
+func (s *Server) requantizeTables(fw *core.Framework, q url.Values) (luma, chroma qtable.Table, err error) {
 	if qf, ok, qerr := parseQuality(q); qerr != nil {
 		return luma, chroma, qerr
 	} else if ok {
@@ -575,7 +786,11 @@ func (s *Server) checkPNMDims(body []byte) error {
 // --- the four codec endpoints -------------------------------------------
 
 func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request, t *tenant) error {
-	opts, err := s.encodeOptions(r.URL.Query())
+	fw, err := s.frameworkFor(r.URL.Query(), t)
+	if err != nil {
+		return err
+	}
+	opts, err := s.encodeOptions(fw, r.URL.Query())
 	if err != nil {
 		return err
 	}
@@ -601,13 +816,17 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request, t *tenant)
 
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request, t *tenant) error {
 	q := r.URL.Query()
+	fw, err := s.frameworkFor(q, t)
+	if err != nil {
+		return err
+	}
 	format, err := parseFormat(q)
 	if err != nil {
 		return err
 	}
-	// Default to the engine the server was configured with (-fast-dct
-	// accelerates decode too), overridable per request.
-	xf, err := parseTransform(q, s.opts.Framework.Transform)
+	// Default to the resolved profile's engine (-fast-dct accelerates
+	// decode too), overridable per request.
+	xf, err := parseTransform(q, fw.Transform)
 	if err != nil {
 		return err
 	}
@@ -653,7 +872,11 @@ func writeImage(w io.Writer, img *imgutil.RGB, format outputFormat) error {
 
 func (s *Server) handleRequantize(w http.ResponseWriter, r *http.Request, t *tenant) error {
 	q := r.URL.Query()
-	luma, chroma, err := s.requantizeTables(q)
+	fw, err := s.frameworkFor(q, t)
+	if err != nil {
+		return err
+	}
+	luma, chroma, err := s.requantizeTables(fw, q)
 	if err != nil {
 		return err
 	}
@@ -704,12 +927,14 @@ type batchOp struct {
 }
 
 // batchOpFor compiles the query parameters into the per-item runner of
-// this request; configuration errors surface once, before any part is
-// read.
-func (s *Server) batchOpFor(q url.Values) (*batchOp, error) {
+// this request against the resolved framework; configuration errors
+// surface once, before any part is read. The framework is captured once,
+// so every item of a batch runs on the same profile snapshot even if a
+// hot reload lands mid-request.
+func (s *Server) batchOpFor(fw *core.Framework, q url.Values) (*batchOp, error) {
 	switch op := q.Get("op"); op {
 	case "", "encode":
-		opts, err := s.encodeOptions(q)
+		opts, err := s.encodeOptions(fw, q)
 		if err != nil {
 			return nil, err
 		}
@@ -730,7 +955,7 @@ func (s *Server) batchOpFor(q url.Values) (*batchOp, error) {
 		if err != nil {
 			return nil, err
 		}
-		xf, err := parseTransform(q, s.opts.Framework.Transform)
+		xf, err := parseTransform(q, fw.Transform)
 		if err != nil {
 			return nil, err
 		}
@@ -748,7 +973,7 @@ func (s *Server) batchOpFor(q url.Values) (*batchOp, error) {
 			return buf.Bytes(), nil
 		}}, nil
 	case "requantize":
-		luma, chroma, err := s.requantizeTables(q)
+		luma, chroma, err := s.requantizeTables(fw, q)
 		if err != nil {
 			return nil, err
 		}
@@ -782,7 +1007,11 @@ func (s *Server) batchOpFor(q url.Values) (*batchOp, error) {
 // application/json error parts flagged X-Batch-Error: true; the request
 // itself still answers 200 so partial progress survives.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, t *tenant) error {
-	op, err := s.batchOpFor(r.URL.Query())
+	fw, err := s.frameworkFor(r.URL.Query(), t)
+	if err != nil {
+		return err
+	}
+	op, err := s.batchOpFor(fw, r.URL.Query())
 	if err != nil {
 		return err
 	}
@@ -906,6 +1135,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"in_flight":      s.inFlight.Value(),
+		"profile":        s.profileStatus(),
 	})
 }
 

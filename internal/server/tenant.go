@@ -12,6 +12,12 @@ type TenantConfig struct {
 	// queued, so one tenant cannot absorb the whole worker pool. ≤ 0
 	// falls back to Options.MaxInFlight.
 	MaxInFlight int
+	// Profile pins the tenant to a calibration profile ("name" or
+	// "name@version") resolved against Options.ProfileDir; the tenant's
+	// requests default to its tables instead of the server default. A
+	// per-request ?profile= still overrides it. Empty uses the server
+	// default.
+	Profile string
 }
 
 // tenant is the runtime state behind one API key (or behind the single
@@ -21,6 +27,10 @@ type TenantConfig struct {
 type tenant struct {
 	name string
 	sem  chan struct{} // buffered to the tenant's in-flight cap
+	// profileRef is the tenant's pinned calibration profile reference;
+	// empty means the server default. It is resolved per request, so a
+	// hot reload retargets the tenant without reconstruction.
+	profileRef string
 
 	requests expvar.Int // requests admitted past the gate
 	rejected expvar.Int // requests refused with 429 at the gate
@@ -33,8 +43,8 @@ type tenant struct {
 	vars *expvar.Map // the tenant's /metrics subtree
 }
 
-func newTenant(name string, maxInFlight int) *tenant {
-	t := &tenant{name: name, sem: make(chan struct{}, maxInFlight)}
+func newTenant(name string, maxInFlight int, profileRef string) *tenant {
+	t := &tenant{name: name, sem: make(chan struct{}, maxInFlight), profileRef: profileRef}
 	m := new(expvar.Map).Init()
 	m.Set("requests", &t.requests)
 	m.Set("rejected", &t.rejected)

@@ -1,0 +1,87 @@
+// Command bench2json converts `go test -bench` text output on stdin
+// into a stable JSON document on stdout, so benchmark results can be
+// checked in per PR (BENCH_<pr>.json) and diffed across the repository's
+// history — the perf trajectory of the codec.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchmem ./... | go run ./scripts/bench2json
+//
+// Each benchmark line ("BenchmarkX-8  100  123 ns/op  45 B/op  2
+// allocs/op  678 MB/s") becomes one entry with every value/unit pair
+// preserved under metrics; non-benchmark lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	doc := document{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: []result{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine recognizes one benchmark result line: the name, the
+// iteration count, then value/unit pairs.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return result{}, false
+	}
+	return r, true
+}

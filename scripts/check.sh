@@ -15,3 +15,4 @@ go build ./...
 go test -race ./...
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 5s ./internal/jpegcodec
 go test -run '^$' -fuzz '^FuzzRequantize$' -fuzztime 5s ./internal/jpegcodec
+go test -run '^$' -fuzz '^FuzzProfileDecode$' -fuzztime 5s ./internal/profile
