@@ -14,9 +14,9 @@ FUZZTIME ?= 5s
 # PR number when recording a data point, e.g. `make bench-json PR=4`.
 PR ?= dev
 
-.PHONY: check fmt vet build test race bench bench-json serve-bench fuzz-smoke
+.PHONY: check fmt vet build build-386 test race bench bench-json serve-bench fuzz-smoke
 
-check: fmt vet build race fuzz-smoke
+check: fmt vet build build-386 race fuzz-smoke
 
 fmt:
 	@out="$$($(GOFMT) -l .)" || exit 1; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -26,6 +26,13 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# 32-bit cross-compile gate: int is 32 bits under GOARCH=386, so this
+# catches the width*height-overflow class of bug (hostile image headers
+# can declare ~2^31 per dimension) at compile/vet time on every check.
+build-386:
+	GOARCH=386 $(GO) build ./...
+	GOARCH=386 $(GO) vet ./...
 
 test:
 	$(GO) test ./...

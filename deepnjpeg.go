@@ -42,9 +42,15 @@
 // CalibrateConfig.Transform and DecodeOptions.Transform select between
 // the naive separable transform (the default) and the Arai–Agui–Nakajima
 // fast transform (TransformAAN), which roughly halves block-transform
-// cost. The engines produce byte-identical encoded streams — their
-// floating-point differences are absorbed by quantization — so the fast
-// path is safe to enable wherever throughput matters:
+// cost. The AAN scale factors are folded into the quantization tables
+// (libjpeg's scaled-table trick): the codec runs only the raw
+// butterflies per block and quantizes through fused divisors built once
+// per calibrated codec, so the hot loop is a single multiply or divide
+// per coefficient with no descale pass. The engines produce
+// byte-identical encoded streams — their floating-point differences,
+// including the folding itself, are absorbed by the tie-snapping
+// quantizer — so the fast path is safe to enable wherever throughput
+// matters:
 //
 //	codec, err := deepnjpeg.Calibrate(imgs, labels,
 //	    deepnjpeg.CalibrateConfig{Transform: deepnjpeg.TransformAAN})

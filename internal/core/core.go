@@ -69,6 +69,16 @@ type Framework struct {
 	ChromaTable  qtable.Table
 	SampledCount int           // images used for calibration
 	Transform    dct.Transform // block-transform engine for Scheme()
+
+	// scaled caches the transform-folded forward quantization divisors of
+	// LumaTable/ChromaTable under Transform, built once by Calibrate or
+	// Restore and attached to every Scheme the framework hands out — the
+	// encoder then never derives them per image (let alone per block).
+	// The cache carries the inputs it was built from and the encoder
+	// verifies them, so a framework whose exported fields were mutated
+	// after construction degrades to per-call derivation, never to
+	// different streams.
+	scaled *jpegcodec.ScaledTables
 }
 
 // Calibrate runs the full design flow on a labeled dataset.
@@ -130,6 +140,7 @@ func Calibrate(ds *dataset.Dataset, opts CalibrateOptions) (*Framework, error) {
 	} else {
 		f.ChromaTable = qtable.MustScale(qtable.StdChrominance, 95)
 	}
+	f.scaled = jpegcodec.PrecomputeScaled(f.LumaTable, f.ChromaTable, f.Transform)
 	return f, nil
 }
 
@@ -163,6 +174,7 @@ func Restore(params plm.Params, stats, chromaStats *freqstat.Stats, luma, chroma
 		ChromaTable:  chroma,
 		SampledCount: sampled,
 		Transform:    transform,
+		scaled:       jpegcodec.PrecomputeScaled(luma, chroma, transform),
 	}, nil
 }
 
@@ -252,12 +264,16 @@ func SchemeSameQ(q int) Scheme {
 	}}
 }
 
-// Scheme returns the calibrated DeepN-JPEG scheme.
+// Scheme returns the calibrated DeepN-JPEG scheme. Its Options carry the
+// framework's cached transform-folded divisors, so encodes under the
+// scheme skip per-call scaled-table derivation as well as the per-block
+// descale pass.
 func (f *Framework) Scheme() Scheme {
 	return Scheme{Name: "deepn-jpeg", Opts: jpegcodec.Options{
 		LumaTable:   f.LumaTable,
 		ChromaTable: f.ChromaTable,
 		Transform:   f.Transform,
+		Scaled:      f.scaled,
 	}}
 }
 

@@ -5,8 +5,13 @@ package dct
 // multiplications and 29 additions but produces *scaled* outputs: the 2-D
 // result equals the orthonormal DCT multiplied by a fixed per-band factor.
 // ForwardAAN/InverseAAN fold that factor back in, so they are drop-in
-// replacements for Forward/Inverse; codecs that quantize anyway can fold
-// the scale into the quantization table instead and skip it entirely.
+// replacements for Forward/Inverse.
+//
+// Codecs that quantize anyway never need that extra multiply pass:
+// ForwardAANRaw/InverseAANRaw expose the bare butterflies, and
+// AANForwardDescale/AANInversePrescale expose the per-band factors so the
+// quantization table can absorb them (qtable.Table.FwdScaled/InvScaled) —
+// libjpeg's scaled-table trick, which the codec's hot loops use.
 
 import "math"
 
@@ -22,6 +27,11 @@ var aanDescale [BlockSize]float64
 // aanPrescale[u]·aanPrescale[v]. Like aanDescale it is calibrated at
 // init, so the tables stay correct for this exact butterfly.
 var aanPrescale [BlockSize]float64
+
+// aanDescale2D and aanPrescale2D hold the separable 2-D factors in
+// natural (row-major) order: index v*8+u carries the product of the two
+// 1-D factors. They are what scaled quantization tables fold in.
+var aanDescale2D, aanPrescale2D [BlockSize * BlockSize]float64
 
 func init() {
 	for u := 0; u < BlockSize; u++ {
@@ -55,7 +65,26 @@ func init() {
 		}
 		aanPrescale[u] = w / (k * c)
 	}
+	for v := 0; v < BlockSize; v++ {
+		for u := 0; u < BlockSize; u++ {
+			aanDescale2D[v*BlockSize+u] = aanDescale[u] * aanDescale[v]
+			aanPrescale2D[v*BlockSize+u] = aanPrescale[u] * aanPrescale[v]
+		}
+	}
 }
+
+// AANForwardDescale returns the factor that maps ForwardAANRaw's output
+// at natural index i (v*8+u) to the orthonormal basis: ortho = raw ·
+// AANForwardDescale(i). A quantizer folds it into its divisors as
+// q[i]/AANForwardDescale(i), after which raw butterfly output quantizes
+// directly.
+func AANForwardDescale(i int) float64 { return aanDescale2D[i] }
+
+// AANInversePrescale returns the factor that maps orthonormal
+// coefficients at natural index i to the scaled convention InverseAANRaw
+// expects: scaled = ortho · AANInversePrescale(i). A dequantizer folds it
+// into its multipliers as q[i]·AANInversePrescale(i).
+func AANInversePrescale(i int) float64 { return aanPrescale2D[i] }
 
 // AAN butterfly constants.
 const (
@@ -163,33 +192,44 @@ func idctAAN1D(d []float64, off, stride int) {
 	d[i(3)] = tmp3 - tmp4
 }
 
-// ForwardAAN computes the same orthonormal 2-D DCT as Forward using the
-// AAN fast algorithm plus a descaling pass.
-func ForwardAAN(b *Block) {
+// ForwardAANRaw runs only the forward AAN butterflies: the result is the
+// orthonormal 2-D DCT divided by AANForwardDescale per band. Callers that
+// quantize fold the factor into their divisors instead of descaling here.
+func ForwardAANRaw(b *Block) {
 	for y := 0; y < BlockSize; y++ {
 		fdctAAN1D(b[:], y*BlockSize, 1)
 	}
 	for x := 0; x < BlockSize; x++ {
 		fdctAAN1D(b[:], x, BlockSize)
 	}
-	for v := 0; v < BlockSize; v++ {
-		for u := 0; u < BlockSize; u++ {
-			b[v*BlockSize+u] *= aanDescale[u] * aanDescale[v]
-		}
-	}
 }
 
-// InverseAAN inverts ForwardAAN (and Forward).
-func InverseAAN(b *Block) {
-	for v := 0; v < BlockSize; v++ {
-		for u := 0; u < BlockSize; u++ {
-			b[v*BlockSize+u] *= aanPrescale[u] * aanPrescale[v]
-		}
-	}
+// InverseAANRaw runs only the inverse AAN butterflies. Input must carry
+// the scaled convention: orthonormal coefficients multiplied by
+// AANInversePrescale per band (which dequantizers fold into their
+// multipliers).
+func InverseAANRaw(b *Block) {
 	for x := 0; x < BlockSize; x++ {
 		idctAAN1D(b[:], x, BlockSize)
 	}
 	for y := 0; y < BlockSize; y++ {
 		idctAAN1D(b[:], y*BlockSize, 1)
 	}
+}
+
+// ForwardAAN computes the same orthonormal 2-D DCT as Forward using the
+// AAN fast algorithm plus a descaling pass.
+func ForwardAAN(b *Block) {
+	ForwardAANRaw(b)
+	for i := range b {
+		b[i] *= aanDescale2D[i]
+	}
+}
+
+// InverseAAN inverts ForwardAAN (and Forward).
+func InverseAAN(b *Block) {
+	for i := range b {
+		b[i] *= aanPrescale2D[i]
+	}
+	InverseAANRaw(b)
 }

@@ -65,6 +65,57 @@ func TestAANCrossCompatible(t *testing.T) {
 	}
 }
 
+// TestAANRawScaleContract pins the decomposition the scaled-table codec
+// path is built on: the raw butterflies plus an explicit per-band scale
+// multiply must reproduce the orthonormal transform, in both directions.
+// A drift in either the butterflies or the exported factors breaks the
+// folded quantization tables silently — this is the test that catches it
+// at the dct layer.
+func TestAANRawScaleContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		orig := randBlock(rng)
+
+		// Forward: raw output × descale == orthonormal reference.
+		fwd := orig
+		ForwardAANRaw(&fwd)
+		for i := range fwd {
+			fwd[i] *= AANForwardDescale(i)
+		}
+		ref := orig
+		ForwardReference(&ref)
+		if d := maxAbsDiff(&fwd, &ref); d > 1e-9 {
+			t.Fatalf("trial %d: raw forward + descale vs reference: %g", trial, d)
+		}
+
+		// Inverse: prescale × raw butterflies == orthonormal reference.
+		inv := orig
+		for i := range inv {
+			inv[i] *= AANInversePrescale(i)
+		}
+		InverseAANRaw(&inv)
+		ref = orig
+		InverseReference(&ref)
+		if d := maxAbsDiff(&inv, &ref); d > 1e-9 {
+			t.Fatalf("trial %d: prescale + raw inverse vs reference: %g", trial, d)
+		}
+	}
+}
+
+// TestAANScaleFactorsPositive guards the divisors' sanity: folding a
+// zero or negative factor into a quantization table would flip or zero
+// coefficients.
+func TestAANScaleFactorsPositive(t *testing.T) {
+	for i := 0; i < BlockSize*BlockSize; i++ {
+		if AANForwardDescale(i) <= 0 {
+			t.Fatalf("descale[%d] = %g, want > 0", i, AANForwardDescale(i))
+		}
+		if AANInversePrescale(i) <= 0 {
+			t.Fatalf("prescale[%d] = %g, want > 0", i, AANInversePrescale(i))
+		}
+	}
+}
+
 func TestAANDCOfConstantBlock(t *testing.T) {
 	var b Block
 	for i := range b {
@@ -94,5 +145,29 @@ func BenchmarkInverseAAN(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		work := blk
 		InverseAAN(&work)
+	}
+}
+
+// The raw variants are what the fused-table codec paths run per block;
+// the delta against ForwardAAN/InverseAAN is the descale/prescale pass
+// the folded quantization tables eliminate.
+func BenchmarkForwardAANRaw(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	blk := randBlock(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		work := blk
+		ForwardAANRaw(&work)
+	}
+}
+
+func BenchmarkInverseAANRaw(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	blk := randBlock(rng)
+	ForwardAANRaw(&blk)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		work := blk
+		InverseAANRaw(&work)
 	}
 }

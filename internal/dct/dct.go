@@ -11,6 +11,16 @@
 // through the Transform engine enum (TransformNaive, TransformAAN); all
 // engines compute the same orthonormal transform and differ only in
 // floating-point rounding at the ~1e-12 level.
+//
+// The AAN transform is natively *scaled*: its butterflies produce the
+// orthonormal result times a fixed per-band factor. Codecs that
+// quantize anyway never pay to undo that scaling — ForwardAANRaw and
+// InverseAANRaw expose the bare butterflies (reached through
+// Transform.ForwardScaled/InverseScaled), and AANForwardDescale/
+// AANInversePrescale export the factors so quantization tables can fold
+// them into their divisors and multipliers (see qtable.Table.FwdScaled
+// and InvScaled). That turns the per-block hot loop into exactly one
+// multiply or divide per coefficient.
 package dct
 
 import "math"

@@ -72,3 +72,29 @@ func (t Transform) Inverse(b *Block) {
 	}
 	Inverse(b)
 }
+
+// ForwardScaled runs the forward transform in the engine's native scaled
+// basis: TransformAAN runs only the raw butterflies (output divided by
+// AANForwardDescale per band), TransformNaive is already orthonormal and
+// runs Forward unchanged. Callers must quantize with divisors built for
+// the same engine (qtable.Table.FwdScaled), which fold the residual scale
+// back in — that pairing is what removes the per-block descale pass.
+func (t Transform) ForwardScaled(b *Block) {
+	if t == TransformAAN {
+		ForwardAANRaw(b)
+		return
+	}
+	Forward(b)
+}
+
+// InverseScaled is the inverse counterpart: input must be dequantized
+// with multipliers built for the same engine (qtable.Table.InvScaled),
+// which pre-apply AANInversePrescale for TransformAAN; TransformNaive
+// takes orthonormal coefficients and runs Inverse unchanged.
+func (t Transform) InverseScaled(b *Block) {
+	if t == TransformAAN {
+		InverseAANRaw(b)
+		return
+	}
+	Inverse(b)
+}

@@ -76,6 +76,42 @@ type Options struct {
 	// engines produce identical streams after quantization (see the
 	// transform equivalence tests).
 	Transform dct.Transform
+	// Scaled optionally carries precomputed transform-folded forward
+	// divisors (PrecomputeScaled). Callers that encode many images with
+	// one table set — core.Framework, the server, the batch pipeline —
+	// build them once and attach them to every encode. The encoder uses
+	// the cache only when it matches this Options' tables and engine and
+	// derives fresh divisors into pooled scratch otherwise, so a stale
+	// cache degrades to a 128-division setup cost, never to different
+	// streams.
+	Scaled *ScaledTables
+}
+
+// ScaledTables is an immutable cache of fused forward quantization
+// divisors — the luma and chroma tables with the transform engine's
+// scale factors folded in — together with the inputs they were derived
+// from, so the encoder can verify the cache still applies.
+type ScaledTables struct {
+	luma, chroma qtable.Table
+	xf           dct.Transform
+	fwdLuma      qtable.FwdScaled
+	fwdChroma    qtable.FwdScaled
+}
+
+// PrecomputeScaled folds the transform's scale factors into the given
+// quantization tables once, for reuse across many encodes via
+// Options.Scaled.
+func PrecomputeScaled(luma, chroma qtable.Table, xf dct.Transform) *ScaledTables {
+	st := &ScaledTables{luma: luma, chroma: chroma, xf: xf}
+	luma.FwdScaledInto(&st.fwdLuma, xf)
+	chroma.FwdScaledInto(&st.fwdChroma, xf)
+	return st
+}
+
+// matches reports whether the cache was derived from exactly this table
+// set and engine.
+func (st *ScaledTables) matches(luma, chroma *qtable.Table, xf dct.Transform) bool {
+	return st != nil && st.xf == xf && st.luma == *luma && st.chroma == *chroma
 }
 
 // withDefaults fills in zero-valued tables.
@@ -103,6 +139,10 @@ type component struct {
 	blocksX, blocksY int          // MCU-padded block grid
 	coefs            [][64]int32  // quantized coefficients per block, natural order
 	table            qtable.Table // dequantization table (decoder)
+	// inv is table with the inverse engine's prescale factors folded in,
+	// built once per scan (decoder) so the per-block dequantize loop is a
+	// single multiply per coefficient.
+	inv qtable.InvScaled
 }
 
 // quantizeTieEps is the half-width of the rounding-boundary snap band in
@@ -114,11 +154,13 @@ type component struct {
 const quantizeTieEps = 1e-9
 
 // quantize rounds coef/step half away from zero, the quantizer in T.81 and
-// Eq. (1) of the paper's JPEG description. Ties within quantizeTieEps of
-// the boundary round deterministically away from zero regardless of which
-// transform engine produced c.
-func quantize(c float64, q uint16) int32 {
-	v := c / float64(q)
+// Eq. (1) of the paper's JPEG description. q is a fused divisor — the
+// quantization step with any transform scale factor already folded in —
+// so every engine funnels through this one division. Ties within
+// quantizeTieEps of the boundary round deterministically away from zero
+// regardless of which transform engine (or folding) produced c and q.
+func quantize(c float64, q float64) int32 {
+	v := c / q
 	neg := v < 0
 	if neg {
 		v = -v
@@ -136,12 +178,14 @@ func quantize(c float64, q uint16) int32 {
 }
 
 // blockCoefficients runs the forward path for one 8×8 tile: level shift,
-// DCT under the selected engine, quantization, and optional zero-masking.
+// DCT in the engine's scaled basis, fused quantization, and optional
+// zero-masking. tbl carries the engine's scale factors folded into its
+// divisors, so the loop is one divide per coefficient — no descale pass.
 // samples is the tile in row-major order; the result is in natural order.
-func blockCoefficients(samples *[64]uint8, tbl *qtable.Table, mask *qtable.ZeroMask, xf dct.Transform) [64]int32 {
+func blockCoefficients(samples *[64]uint8, tbl *qtable.FwdScaled, mask *qtable.ZeroMask, xf dct.Transform) [64]int32 {
 	var blk dct.Block
 	dct.LevelShift(samples[:], &blk)
-	xf.Forward(&blk)
+	xf.ForwardScaled(&blk)
 	var out [64]int32
 	for i := 0; i < 64; i++ {
 		if mask != nil && mask[i] {
@@ -152,14 +196,15 @@ func blockCoefficients(samples *[64]uint8, tbl *qtable.Table, mask *qtable.ZeroM
 	return out
 }
 
-// reconstructBlock runs the inverse path: dequantize, IDCT under the
-// selected engine, level unshift.
-func reconstructBlock(coefs *[64]int32, tbl *qtable.Table, dst *[64]uint8, xf dct.Transform) {
+// reconstructBlock runs the inverse path: fused dequantize (the engine's
+// prescale factors live in tbl's multipliers — one multiply per
+// coefficient), IDCT in the scaled basis, level unshift.
+func reconstructBlock(coefs *[64]int32, tbl *qtable.InvScaled, dst *[64]uint8, xf dct.Transform) {
 	var blk dct.Block
 	for i := 0; i < 64; i++ {
-		blk[i] = float64(coefs[i]) * float64(tbl[i])
+		blk[i] = float64(coefs[i]) * tbl[i]
 	}
-	xf.Inverse(&blk)
+	xf.InverseScaled(&blk)
 	dct.LevelUnshift(&blk, dst[:])
 }
 

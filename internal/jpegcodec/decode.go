@@ -425,7 +425,9 @@ func (d *decoder) parseSOF() error {
 	if d.w == 0 || d.h == 0 {
 		return errors.New("jpegcodec: zero frame dimensions")
 	}
-	if d.maxPixels > 0 && d.w*d.h > d.maxPixels {
+	// Division form: both dimensions can be 65535, whose product
+	// overflows int on 32-bit platforms and would wrap past the cap.
+	if d.maxPixels > 0 && (d.h > d.maxPixels || d.w > d.maxPixels/d.h) {
 		return fmt.Errorf("jpegcodec: frame %dx%d exceeds the %d-pixel decode limit", d.w, d.h, d.maxPixels)
 	}
 	if len(p) < 6+3*n {
@@ -536,6 +538,10 @@ func (d *decoder) parseSOSAndScan() error {
 			return fmt.Errorf("jpegcodec: missing quantization table %d", c.tq)
 		}
 		c.table = tbl
+		// Fold the inverse engine's prescale into the dequantize
+		// multipliers once per scan; reconstructBlock then runs one
+		// multiply per coefficient with no prescale pass.
+		tbl.InvScaledInto(&c.inv, d.xf)
 	}
 
 	br := d.bits
@@ -570,7 +576,7 @@ func (d *decoder) parseSOSAndScan() error {
 						prevDC[ci] = coefs[0]
 						bx, by := mx*c.h+vx, my*c.v+vy
 						c.coefs[by*c.blocksX+bx] = coefs
-						reconstructBlock(&coefs, &c.table, &tile, d.xf)
+						reconstructBlock(&coefs, &c.inv, &tile, d.xf)
 						imgutil.StoreBlock(c.pix, c.w, c.hgt, bx, by, &tile)
 					}
 				}

@@ -1,0 +1,64 @@
+package jpegcodec
+
+// Regression test for the decoder's MaxPixels guard: both SOF dimensions
+// can legally be 65535, whose product overflows int on 32-bit platforms;
+// the guard must use overflow-safe arithmetic so a hostile header cannot
+// wrap past the cap and reach the plane-sizing allocations.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// hostileSOFStream hand-assembles SOI + a baseline SOF0 declaring the
+// given dimensions — all the decoder parses before the guard runs.
+func hostileSOFStream(w, h int) []byte {
+	var b bytes.Buffer
+	b.Write([]byte{0xFF, mSOI})
+	sof := []byte{8, byte(h >> 8), byte(h), byte(w >> 8), byte(w), 1, 1, 0x11, 0}
+	b.Write([]byte{0xFF, mSOF0, byte((len(sof) + 2) >> 8), byte(len(sof) + 2)})
+	b.Write(sof)
+	return b.Bytes()
+}
+
+func TestDecodeMaxPixelsGuardOverflowSafe(t *testing.T) {
+	cases := []struct {
+		name      string
+		w, h      int
+		maxPixels int
+	}{
+		// 46341² = 2147488281 wraps negative in 32-bit int, slipping
+		// under any positive cap on a 32-bit build with naive w*h.
+		{"wrap-negative", 46341, 46341, 1 << 24},
+		// 65535×65535 ≈ 2^32 wraps to a small positive value.
+		{"wrap-small", 65535, 65535, 1 << 24},
+		{"single-huge-dim", 65535, 1, 1 << 10},
+		{"just-over", 4097, 4096, 1 << 24},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var dec Decoded
+			err := DecodeInto(bytes.NewReader(hostileSOFStream(tc.w, tc.h)), &dec,
+				&DecodeOptions{MaxPixels: tc.maxPixels})
+			if err == nil || !strings.Contains(err.Error(), "decode limit") {
+				t.Fatalf("%dx%d against cap %d: err %v, want the pixel-limit rejection",
+					tc.w, tc.h, tc.maxPixels, err)
+			}
+			want := fmt.Sprintf("%dx%d", tc.w, tc.h)
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("rejection %v does not name the declared dimensions %s", err, want)
+			}
+		})
+	}
+
+	// At-the-cap dimensions pass the guard and fail later (no scan data),
+	// proving the rejections above came from the guard, not the parser.
+	var dec Decoded
+	err := DecodeInto(bytes.NewReader(hostileSOFStream(4096, 4096)), &dec,
+		&DecodeOptions{MaxPixels: 1 << 24})
+	if err == nil || strings.Contains(err.Error(), "decode limit") {
+		t.Fatalf("in-bounds frame: err %v, want a non-guard parse failure", err)
+	}
+}

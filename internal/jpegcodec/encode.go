@@ -90,11 +90,28 @@ func encode(w io.Writer, width, height int, comps []*component, o *Options, scra
 	mcusX := (width + 8*maxH - 1) / (8 * maxH)
 	mcusY := (height + 8*maxV - 1) / (8 * maxV)
 
+	// Resolve the fused forward divisors: the caller's cache when it
+	// matches this exact table set and engine (one build per Framework),
+	// otherwise derived into the pooled scratch — never per block.
+	var fwdLuma, fwdChroma *qtable.FwdScaled
+	if o.Scaled.matches(&o.LumaTable, &o.ChromaTable, o.Transform) {
+		fwdLuma, fwdChroma = &o.Scaled.fwdLuma, &o.Scaled.fwdChroma
+	} else {
+		var localFwd [2]qtable.FwdScaled
+		fwd := &localFwd
+		if scratch != nil {
+			fwd = &scratch.fwd
+		}
+		o.LumaTable.FwdScaledInto(&fwd[0], o.Transform)
+		o.ChromaTable.FwdScaledInto(&fwd[1], o.Transform)
+		fwdLuma, fwdChroma = &fwd[0], &fwd[1]
+	}
+
 	// Forward-transform every block in the MCU-padded grid.
 	for ci, c := range comps {
-		tbl := &o.LumaTable
+		tbl := fwdLuma
 		if c.tq == 1 {
-			tbl = &o.ChromaTable
+			tbl = fwdChroma
 		}
 		c.blocksX = mcusX * c.h
 		c.blocksY = mcusY * c.v

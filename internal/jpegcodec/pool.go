@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/imgutil"
+	"repro/internal/qtable"
 )
 
 // This file holds the pooled per-call working set of the codec. Encoding
@@ -23,11 +24,13 @@ import (
 
 // encScratch is the reusable working set of one encode call.
 type encScratch struct {
-	planes imgutil.Planes // full-resolution YCbCr conversion buffers
-	cb, cr []uint8        // 4:2:0 subsampled chroma buffers
-	coefs  [3][][64]int32 // per-component quantized coefficient grids
-	comps  [3]component   // component descriptors
-	refs   [3]*component  // backing array for the []*component slice
+	planes imgutil.Planes      // full-resolution YCbCr conversion buffers
+	cb, cr []uint8             // 4:2:0 subsampled chroma buffers
+	coefs  [3][][64]int32      // per-component quantized coefficient grids
+	comps  [3]component        // component descriptors
+	refs   [3]*component       // backing array for the []*component slice
+	fwd    [2]qtable.FwdScaled // fused forward divisors (luma, chroma) when the caller caches none
+	inv    [2]qtable.InvScaled // fused dequantize multipliers (requantize source tables)
 }
 
 var encScratchPool = sync.Pool{New: func() any { return new(encScratch) }}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/dct"
 	"repro/internal/qtable"
 )
 
@@ -42,6 +43,10 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 	// Rebuild encoder components from the decoded coefficient planes,
 	// drawing descriptors and coefficient grids from the pooled encoder
 	// scratch: requantization sits in the same batch loops as encode.
+	// The tables convert to float form once per component — dequantize
+	// multipliers for the coded table, quantize divisors for the new one
+	// (naive/identity scaling: no DCT runs here) — so the per-block loop
+	// is one multiply and one divide per coefficient.
 	s := getEncScratch()
 	defer putEncScratch(s)
 	for i := 0; i < d.Components; i++ {
@@ -64,6 +69,10 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 		if len(src) == 0 {
 			return fmt.Errorf("jpegcodec: component %d has no coefficients", i)
 		}
+		dequant := &s.inv[c.tq]
+		requant := &s.fwd[c.tq]
+		oldTbl.InvScaledInto(dequant, dct.TransformNaive)
+		newTbl.FwdScaledInto(requant, dct.TransformNaive)
 		c.blocksX, c.blocksY = bx, by
 		c.coefs = growCoefs(s.coefs[i], len(src))
 		s.coefs[i] = c.coefs
@@ -73,8 +82,8 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 				if o.ZeroMask != nil && o.ZeroMask[n] {
 					continue
 				}
-				real := float64(src[bi][n]) * float64(oldTbl[n])
-				out[n] = quantize(real, (*newTbl)[n])
+				real := float64(src[bi][n]) * dequant[n]
+				out[n] = quantize(real, requant[n])
 			}
 			c.coefs[bi] = out
 		}

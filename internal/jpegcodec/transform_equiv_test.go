@@ -42,8 +42,10 @@ func TestBlockCoefficientsEngineEquivalence(t *testing.T) {
 	for trial := 0; trial < 2000; trial++ {
 		tile := randTile(rng)
 		tbl := tables[trial%len(tables)]
-		naive := blockCoefficients(&tile, &tbl, nil, dct.TransformNaive)
-		aan := blockCoefficients(&tile, &tbl, nil, dct.TransformAAN)
+		// Each engine quantizes through its own folded divisors — the
+		// production pairing, where the AAN scale lives in the table.
+		naive := blockCoefficients(&tile, tbl.FwdScaled(dct.TransformNaive), nil, dct.TransformNaive)
+		aan := blockCoefficients(&tile, tbl.FwdScaled(dct.TransformAAN), nil, dct.TransformAAN)
 		if naive != aan {
 			for i := range naive {
 				if naive[i] != aan[i] {

@@ -2,6 +2,7 @@ package profile
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ type entry struct {
 	path    string
 	modTime time.Time
 	size    int64
+	crc     uint32 // stored trailing CRC32 at load time
 
 	once  sync.Once
 	fw    *core.Framework
@@ -75,14 +77,22 @@ func (r *Registry) Loads() int64 { return r.loads.Load() }
 // and duplicate name@version pairs are joined into the error while the
 // healthy remainder is still swapped in; the error is nil only when every
 // file loaded cleanly. Entries whose file is unchanged (same path, size,
-// mtime) carry their cached framework over, so a reload is cheap and
-// in-flight requests see either the old or the new snapshot, never a mix.
+// mtime and stored CRC32) carry their cached framework over, so a reload
+// is cheap and in-flight requests see either the old or the new snapshot,
+// never a mix.
 func (r *Registry) Reload() (int, error) {
-	names, fingerprint, err := r.scanDir()
+	files, fingerprint, err := r.scanDir()
 	if err != nil {
 		return 0, err
 	}
+	return r.reloadScanned(files, fingerprint)
+}
 
+// reloadScanned swaps in a snapshot built from an already-completed
+// directory scan. Watch feeds its change-detection scan straight in
+// here, so a triggered reload costs one scan (and one CRC read per
+// file), not two.
+func (r *Registry) reloadScanned(files []scannedFile, fingerprint string) (int, error) {
 	r.mu.RLock()
 	prev := r.entries
 	r.mu.RUnlock()
@@ -90,21 +100,16 @@ func (r *Registry) Reload() (int, error) {
 	next := make(map[string]map[uint32]*entry)
 	var errs []error
 	n := 0
-	for _, name := range names {
-		path := filepath.Join(r.dir, name)
-		st, err := os.Stat(path)
-		if err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		e := reuseEntry(prev, path, st.Size(), st.ModTime())
+	for _, f := range files {
+		path := filepath.Join(r.dir, f.name)
+		e := reuseEntry(prev, path, f)
 		if e == nil {
 			p, err := Read(path)
 			if err != nil {
 				errs = append(errs, err)
 				continue
 			}
-			e = &entry{profile: p, path: path, modTime: st.ModTime(), size: st.Size()}
+			e = &entry{profile: p, path: path, modTime: f.modTime, size: f.size, crc: f.crc}
 		}
 		byVersion := next[e.profile.Name]
 		if byVersion == nil {
@@ -128,34 +133,71 @@ func (r *Registry) Reload() (int, error) {
 	return n, errors.Join(errs...)
 }
 
+// scannedFile is one profile file as observed by a directory scan.
+type scannedFile struct {
+	name    string
+	size    int64
+	modTime time.Time
+	crc     uint32
+}
+
 // scanDir lists the profile files of the directory in sorted order plus
-// a fingerprint of their (name, size, mtime) triples for change polling.
-func (r *Registry) scanDir() ([]string, string, error) {
+// a fingerprint of their (name, size, mtime, stored CRC32) tuples for
+// change polling. The CRC — the trailing four bytes every profile file
+// carries — is what catches a same-size rewrite landing within the file
+// system's mtime granularity, which size and mtime alone cannot see.
+func (r *Registry) scanDir() ([]scannedFile, string, error) {
 	dirents, err := os.ReadDir(r.dir)
 	if err != nil {
 		return nil, "", err
 	}
-	var names []string
-	var fp strings.Builder
+	var files []scannedFile
 	for _, de := range dirents {
 		if de.IsDir() || !strings.HasSuffix(de.Name(), Ext) {
 			continue
 		}
-		names = append(names, de.Name())
+		f := scannedFile{name: de.Name()}
 		if info, err := de.Info(); err == nil {
-			fmt.Fprintf(&fp, "%s|%d|%d\n", de.Name(), info.Size(), info.ModTime().UnixNano())
+			f.size, f.modTime = info.Size(), info.ModTime()
 		}
+		f.crc = storedCRC(filepath.Join(r.dir, de.Name()))
+		files = append(files, f)
 	}
-	sort.Strings(names)
-	return names, fp.String(), nil
+	sort.Slice(files, func(i, j int) bool { return files[i].name < files[j].name })
+	var fp strings.Builder
+	for _, f := range files {
+		fmt.Fprintf(&fp, "%s|%d|%d|%08x\n", f.name, f.size, f.modTime.UnixNano(), f.crc)
+	}
+	return files, fp.String(), nil
+}
+
+// storedCRC reads the trailing CRC32 of one profile file. Unreadable or
+// too-short files report 0 — their real problem surfaces with a precise
+// error when Reload decodes them.
+func storedCRC(path string) uint32 {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() < 4 {
+		return 0
+	}
+	var buf [4]byte
+	if _, err := f.ReadAt(buf[:], st.Size()-4); err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(buf[:])
 }
 
 // reuseEntry returns the previous snapshot's entry for path when the file
-// is unchanged, preserving its cached framework.
-func reuseEntry(prev map[string]map[uint32]*entry, path string, size int64, modTime time.Time) *entry {
+// is unchanged (size, mtime and stored CRC32 all match), preserving its
+// cached framework.
+func reuseEntry(prev map[string]map[uint32]*entry, path string, f scannedFile) *entry {
 	for _, byVersion := range prev {
 		for _, e := range byVersion {
-			if e.path == path && e.size == size && e.modTime.Equal(modTime) {
+			if e.path == path && e.size == f.size && e.modTime.Equal(f.modTime) && e.crc == f.crc {
 				return e
 			}
 		}
@@ -236,33 +278,54 @@ func (r *Registry) List() []*Profile {
 	return out
 }
 
+// watchFailureThreshold is how many consecutive failed polls Watch
+// tolerates silently before surfacing the problem through onReload. One
+// failure is routinely transient (a directory mid-swap); a run of them
+// means the watcher is effectively blind and the operator should know.
+const watchFailureThreshold = 3
+
 // Watch polls the directory every interval and reloads when the file set
-// changes (names, sizes or mtimes), calling onReload — which may be nil —
-// after each triggered reload with Reload's results. It blocks until ctx
-// is done, so callers run it in a goroutine; a failed poll or reload
-// leaves the current snapshot serving and retries next tick.
+// changes (names, sizes, mtimes or stored CRCs), calling onReload —
+// which may be nil — after each triggered reload with Reload's results.
+// It blocks until ctx is done, so callers run it in a goroutine; a
+// failed poll or reload leaves the current snapshot serving and retries
+// next tick. Scan failures are not silently retried forever: after
+// watchFailureThreshold consecutive failures, onReload is called once
+// per streak with a nil-count error describing the condition, so a
+// persistently unreadable directory surfaces instead of the registry
+// quietly serving stale profiles.
 func (r *Registry) Watch(ctx context.Context, interval time.Duration, onReload func(int, error)) {
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	failures := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-tick.C:
-			_, fingerprint, err := r.scanDir()
+			files, fingerprint, err := r.scanDir()
 			if err != nil {
+				failures++
+				if failures == watchFailureThreshold && onReload != nil {
+					onReload(0, fmt.Errorf("profile: watch of %s failing for %d consecutive polls: %w",
+						r.dir, failures, err))
+				}
 				continue
 			}
+			failures = 0
 			r.mu.RLock()
 			changed := fingerprint != r.fingerprint
 			r.mu.RUnlock()
 			if !changed {
 				continue
 			}
-			n, err := r.Reload()
+			// Reuse the scan that detected the change instead of
+			// rescanning: one directory walk and one CRC read per file
+			// per triggered reload.
+			n, err := r.reloadScanned(files, fingerprint)
 			if onReload != nil {
 				onReload(n, err)
 			}

@@ -163,6 +163,138 @@ func TestRegistryRejectsDuplicateRefs(t *testing.T) {
 	}
 }
 
+// TestRegistryReloadDetectsSameSizeSameMtimeRewrite pins the CRC leg of
+// entry reuse: a rewrite that changes only table bytes keeps the file
+// size identical, and forcing the old mtime back simulates a rewrite
+// landing within the file system's timestamp granularity. Size+mtime
+// matching alone would wrongly carry the stale cached profile over.
+func TestRegistryReloadDetectsSameSizeSameMtimeRewrite(t *testing.T) {
+	dir := t.TempDir()
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 1})
+	path := filepath.Join(dir, "alpha@1.dnp")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := reg.ResolveFramework("alpha@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same name, version and structure — only a table step differs, so
+	// the encoded file is byte-for-byte the same length.
+	p := syntheticProfile(false)
+	p.Name, p.Version = "alpha", 1
+	p.Luma[0] = 77
+	if err := p.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if st2, err := os.Stat(path); err != nil || st2.Size() != st.Size() {
+		t.Fatalf("fixture must rewrite at identical size (%d vs %d, %v)", st2.Size(), st.Size(), err)
+	}
+	if err := os.Chtimes(path, st.ModTime(), st.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := reg.ResolveFramework("alpha@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Fatal("reload reused the stale entry for a same-size, same-mtime rewrite")
+	}
+	if after.LumaTable[0] != 77 {
+		t.Fatalf("reload serves luma DC step %d, want the rewritten 77", after.LumaTable[0])
+	}
+}
+
+// TestRegistryWatchDetectsCRCOnlyChange drives the same rewrite through
+// the polling watcher, whose fingerprint must fold the stored CRC in.
+func TestRegistryWatchDetectsCRCOnlyChange(t *testing.T) {
+	dir := t.TempDir()
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 1})
+	path := filepath.Join(dir, "alpha@1.dnp")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reloaded := make(chan int, 8)
+	go reg.Watch(ctx, 5*time.Millisecond, func(n int, err error) {
+		if err != nil {
+			t.Errorf("watch reload: %v", err)
+		}
+		reloaded <- n
+	})
+
+	p := syntheticProfile(false)
+	p.Name, p.Version = "alpha", 1
+	p.Luma[0] = 55
+	if err := p.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, st.ModTime(), st.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-reloaded:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watcher never noticed a rewrite that changed only the content CRC")
+	}
+	if fw, _, err := reg.ResolveFramework("alpha@1"); err != nil || fw.LumaTable[0] != 55 {
+		t.Fatalf("post-watch table step %d, %v (want 55)", fw.LumaTable[0], err)
+	}
+}
+
+// TestRegistryWatchSurfacesScanFailures pins the failure path: a
+// directory that stops being scannable must be reported through onReload
+// after a few consecutive failed polls instead of being retried in
+// silence forever.
+func TestRegistryWatchSurfacesScanFailures(t *testing.T) {
+	dir := t.TempDir()
+	writeVersions(t, dir, Meta{Name: "alpha", Version: 1})
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := make(chan error, 8)
+	go reg.Watch(ctx, 5*time.Millisecond, func(n int, err error) {
+		if err != nil {
+			errs <- err
+		}
+	})
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if !strings.Contains(err.Error(), "consecutive polls") {
+			t.Fatalf("surfaced error %v does not describe the failing watch", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("persistent scan failures were never surfaced through onReload")
+	}
+	// The pre-failure snapshot must keep serving.
+	if _, err := reg.Resolve("alpha@1"); err != nil {
+		t.Fatalf("failure surfacing must not drop the serving snapshot: %v", err)
+	}
+}
+
 func TestRegistryWatch(t *testing.T) {
 	dir := t.TempDir()
 	writeVersions(t, dir, Meta{Name: "alpha", Version: 1})

@@ -1,0 +1,79 @@
+package qtable
+
+import (
+	"testing"
+
+	"repro/internal/dct"
+)
+
+// TestScaledNaiveIsPlainFloat pins the identity folding: the naive
+// engine works in the orthonormal basis, so its scaled tables are the
+// integer steps verbatim.
+func TestScaledNaiveIsPlainFloat(t *testing.T) {
+	tbl := StdLuminance
+	fwd := tbl.FwdScaled(dct.TransformNaive)
+	inv := tbl.InvScaled(dct.TransformNaive)
+	for i, q := range tbl {
+		if fwd[i] != float64(q) {
+			t.Fatalf("fwd[%d] = %g, want %d verbatim", i, fwd[i], q)
+		}
+		if inv[i] != float64(q) {
+			t.Fatalf("inv[%d] = %g, want %d verbatim", i, inv[i], q)
+		}
+	}
+}
+
+// TestScaledAANFoldsFactors checks the folded values band by band
+// against the dct package's scale-factor accessors: forward divisors
+// absorb the descale (q/descale), inverse multipliers absorb the
+// prescale (q·prescale).
+func TestScaledAANFoldsFactors(t *testing.T) {
+	for _, tbl := range []Table{StdLuminance, StdChrominance, Uniform(1), Uniform(255)} {
+		fwd := tbl.FwdScaled(dct.TransformAAN)
+		inv := tbl.InvScaled(dct.TransformAAN)
+		for i, q := range tbl {
+			if want := float64(q) / dct.AANForwardDescale(i); fwd[i] != want {
+				t.Fatalf("fwd[%d] = %g, want %g", i, fwd[i], want)
+			}
+			if want := float64(q) * dct.AANInversePrescale(i); inv[i] != want {
+				t.Fatalf("inv[%d] = %g, want %g", i, inv[i], want)
+			}
+		}
+	}
+}
+
+// TestScaledIntoMatchesAllocating keeps the pooled-scratch variants in
+// lockstep with the allocating ones.
+func TestScaledIntoMatchesAllocating(t *testing.T) {
+	tbl := MustScale(StdLuminance, 75)
+	for _, xf := range []dct.Transform{dct.TransformNaive, dct.TransformAAN} {
+		var fwd FwdScaled
+		var inv InvScaled
+		tbl.FwdScaledInto(&fwd, xf)
+		tbl.InvScaledInto(&inv, xf)
+		if fwd != *tbl.FwdScaled(xf) {
+			t.Fatalf("%v: FwdScaledInto diverges from FwdScaled", xf)
+		}
+		if inv != *tbl.InvScaled(xf) {
+			t.Fatalf("%v: InvScaledInto diverges from InvScaled", xf)
+		}
+	}
+}
+
+// TestScaledRoundTripNeutral sanity-checks the algebra end to end inside
+// qtable: dividing by the fused forward divisor and multiplying by the
+// fused inverse multiplier must cancel the quantization step against
+// itself, leaving exactly descale·prescale — the same net factor the
+// unfolded AAN path applies between its butterfly passes.
+func TestScaledRoundTripNeutral(t *testing.T) {
+	tbl := MustScale(StdLuminance, 30)
+	fwd := tbl.FwdScaled(dct.TransformAAN)
+	inv := tbl.InvScaled(dct.TransformAAN)
+	for i := range tbl {
+		got := inv[i] / fwd[i]
+		want := dct.AANForwardDescale(i) * dct.AANInversePrescale(i)
+		if diff := got - want; diff > 1e-15 || diff < -1e-15 {
+			t.Fatalf("band %d: inv/fwd = %g, want descale·prescale = %g", i, got, want)
+		}
+	}
+}

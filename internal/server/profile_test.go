@@ -187,9 +187,11 @@ func TestServeFromProfileDir(t *testing.T) {
 }
 
 type profileStatus struct {
-	Name    string `json:"name"`
-	Version int    `json:"version"`
-	Loads   int64  `json:"loads"`
+	Name           string `json:"name"`
+	Version        int    `json:"version"`
+	Loads          int64  `json:"loads"`
+	WatchErrors    int64  `json:"watch_errors"`
+	LastWatchError string `json:"last_watch_error"`
 }
 
 func profileStatusFrom(tb testing.TB, url, key string) profileStatus {
@@ -208,6 +210,45 @@ func profileStatusFrom(tb testing.TB, url, key string) profileStatus {
 		tb.Fatalf("no %q block in %s: %v", key, url, err)
 	}
 	return st
+}
+
+// TestServerSurfacesWatchFailures closes the loop on the registry's
+// scan-failure reporting: when the profile directory stops being
+// scannable, the condition must reach the operator through the profile
+// block of /healthz — not die inside the watch callback — while the
+// last-good snapshot keeps serving.
+func TestServerSurfacesWatchFailures(t *testing.T) {
+	dir := writeProfileDir(t, map[string]*core.Framework{"main@1": testFramework()})
+	s, err := New(Options{ProfileDir: dir, DefaultProfile: "main", ProfileWatch: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, s)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var st profileStatus
+	for {
+		st = profileStatusFrom(t, ts.URL+"/healthz", "profile")
+		if st.WatchErrors > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.WatchErrors == 0 {
+		t.Fatal("persistent watch failures never surfaced on /healthz")
+	}
+	if st.LastWatchError == "" {
+		t.Fatal("watch error surfaced without its message")
+	}
+	// The pre-failure snapshot must keep serving requests.
+	body := ppmBody(t, testImages(t, 1)[0])
+	resp, got := post(t, ts.URL+"/v1/encode", "image/x-portable-pixmap", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serving stopped after watch failures: status %d: %s", resp.StatusCode, got)
+	}
 }
 
 func TestPerTenantProfiles(t *testing.T) {

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"image/png"
 	"io"
+	"math"
 	"mime"
 	"mime/multipart"
 	"net"
@@ -164,6 +165,14 @@ type Server struct {
 	inFlight expvar.Int
 	metrics  *expvar.Map // the whole /metrics document
 
+	// Profile-watcher health, fed by the registry's onReload callback and
+	// surfaced in the profile block of /healthz and /metrics: reload
+	// errors and persistent scan failures land here, so a watcher gone
+	// blind is an operator-visible condition rather than a silent retry
+	// loop.
+	watchErrs    expvar.Int
+	lastWatchErr atomic.Value // string
+
 	// bufPool recycles response-sized scratch buffers across requests so
 	// the pooled, allocation-light codec paths survive the network
 	// boundary instead of drowning in per-request buffers.
@@ -273,7 +282,13 @@ func New(opts Options) (*Server, error) {
 	if s.registry != nil && opts.ProfileWatch > 0 {
 		ctx, cancel := context.WithCancel(context.Background())
 		s.stopWatch = cancel
-		go s.registry.Watch(ctx, opts.ProfileWatch, func(int, error) { s.reresolveDefault() })
+		go s.registry.Watch(ctx, opts.ProfileWatch, func(_ int, err error) {
+			if err != nil {
+				s.watchErrs.Add(1)
+				s.lastWatchErr.Store(err.Error())
+			}
+			s.reresolveDefault()
+		})
 	}
 	return s, nil
 }
@@ -297,11 +312,18 @@ func (s *Server) profileStatus() map[string]any {
 	if s.registry != nil {
 		loads = s.registry.Loads()
 	}
-	return map[string]any{
+	status := map[string]any{
 		"name":    sp.name,
 		"version": sp.version,
 		"loads":   loads,
 	}
+	if n := s.watchErrs.Value(); n > 0 {
+		status["watch_errors"] = n
+		if msg, _ := s.lastWatchErr.Load().(string); msg != "" {
+			status["last_watch_error"] = msg
+		}
+	}
+	return status
 }
 
 // reresolveDefault re-resolves the default profile reference after a
@@ -707,7 +729,7 @@ func (s *Server) parseImage(body []byte) (*imgutil.RGB, error) {
 		if err != nil {
 			return nil, errf(http.StatusBadRequest, "bad_image", "invalid PNG header: %v", err)
 		}
-		if cfg.Width*cfg.Height > s.opts.MaxPixels {
+		if exceedsPixelCap(cfg.Width, cfg.Height, s.opts.MaxPixels) {
 			return nil, errf(http.StatusBadRequest, "image_too_large",
 				"%dx%d exceeds the %d-pixel limit", cfg.Width, cfg.Height, s.opts.MaxPixels)
 		}
@@ -740,6 +762,19 @@ func (s *Server) parseImage(body []byte) (*imgutil.RGB, error) {
 	}
 }
 
+// exceedsPixelCap reports whether a declared w×h frame is out of bounds
+// for the pixel cap. Hostile headers can declare dimensions near the int
+// range (a PNG field holds up to 2³¹−1), where the naive w*h product
+// overflows int on 32-bit platforms and can wrap below the cap — so each
+// dimension is bounded first and the product test is phrased as a
+// division, which cannot overflow for any input.
+func exceedsPixelCap(w, h, maxPixels int) bool {
+	if w <= 0 || h <= 0 {
+		return true
+	}
+	return w > maxPixels || h > maxPixels || w > maxPixels/h
+}
+
 // checkPNMDims parses just the width/height tokens of a binary PNM
 // header and applies the pixel cap, so a 30-byte body declaring a
 // terabyte image is rejected before ReadPPM allocates for it.
@@ -760,13 +795,24 @@ func (s *Server) checkPNMDims(body []byte) error {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
 		case c >= '0' && c <= '9':
-			v := 0
+			// Consume the WHOLE run of digits even once the value is
+			// known to be out of bounds: stopping mid-token would hand
+			// the remaining digits to the next field and misparse the
+			// header (the real height token would never be read). Values
+			// that would overflow int saturate instead.
+			v, saturated := 0, false
 			for i < len(body) && body[i] >= '0' && body[i] <= '9' {
-				v = v*10 + int(body[i]-'0')
-				if v > s.opts.MaxPixels {
-					break
+				if d := int(body[i] - '0'); !saturated {
+					if v > (math.MaxInt-d)/10 {
+						saturated = true
+					} else {
+						v = v*10 + d
+					}
 				}
 				i++
+			}
+			if saturated {
+				v = math.MaxInt
 			}
 			fields = append(fields, v)
 		default:
@@ -776,7 +822,7 @@ func (s *Server) checkPNMDims(body []byte) error {
 	if len(fields) < 2 {
 		return errf(http.StatusBadRequest, "bad_image", "truncated PNM header")
 	}
-	if fields[0] <= 0 || fields[1] <= 0 || fields[0]*fields[1] > s.opts.MaxPixels {
+	if exceedsPixelCap(fields[0], fields[1], s.opts.MaxPixels) {
 		return errf(http.StatusBadRequest, "image_too_large",
 			"%dx%d exceeds the %d-pixel limit", fields[0], fields[1], s.opts.MaxPixels)
 	}

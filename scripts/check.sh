@@ -12,6 +12,10 @@ unformatted=$(gofmt -l .)
 test -z "$unformatted"
 go vet ./...
 go build ./...
+# 32-bit cross-compile gate (catches int-overflow bugs like the PNG
+# width*height pixel-cap bypass).
+GOARCH=386 go build ./...
+GOARCH=386 go vet ./...
 go test -race ./...
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 5s ./internal/jpegcodec
 go test -run '^$' -fuzz '^FuzzRequantize$' -fuzztime 5s ./internal/jpegcodec

@@ -9,6 +9,7 @@ package deepnjpeg
 import (
 	"bytes"
 	"context"
+	"image/jpeg"
 	"testing"
 )
 
@@ -43,7 +44,11 @@ func TestTransformEnginesShareCalibratedTables(t *testing.T) {
 // TestTransformEquivalenceOnInteropImages is the golden-image half of
 // the engine-equivalence property: every stream the interop suite
 // validates against the stdlib decoder must come out byte-identical
-// under the AAN engine, for both color and grayscale encodes.
+// under the AAN engine, for both color and grayscale encodes. With the
+// AAN scale factors folded into the quantization tables, this corpus is
+// also what pins that the fused one-pass hot loop cannot be told apart
+// from the two-pass formulation by a single emitted byte — and that the
+// fast path's output remains plain baseline JFIF to the stdlib decoder.
 func TestTransformEquivalenceOnInteropImages(t *testing.T) {
 	naive, aan, images := transformCodecs(t)
 	for i, img := range images {
@@ -57,6 +62,9 @@ func TestTransformEquivalenceOnInteropImages(t *testing.T) {
 		}
 		if !bytes.Equal(a, b) {
 			t.Fatalf("image %d: color streams differ across engines (%d vs %d bytes)", i, len(a), len(b))
+		}
+		if _, err := jpeg.Decode(bytes.NewReader(b)); err != nil {
+			t.Fatalf("image %d: stdlib cannot decode the fused-table AAN stream: %v", i, err)
 		}
 		g := toGray(img)
 		ga, err := naive.EncodeGray(g)
