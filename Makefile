@@ -45,6 +45,7 @@ race:
 # long run. go test only allows one -fuzz pattern per invocation.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/jpegcodec
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSharded$$' -fuzztime $(FUZZTIME) ./internal/jpegcodec
 	$(GO) test -run '^$$' -fuzz '^FuzzRequantize$$' -fuzztime $(FUZZTIME) ./internal/jpegcodec
 	$(GO) test -run '^$$' -fuzz '^FuzzProfileDecode$$' -fuzztime $(FUZZTIME) ./internal/profile
 
@@ -57,9 +58,12 @@ bench:
 # snapshot (BENCH_$(PR).json) so per-PR performance is diffable across
 # the repository's history. The sweep and the conversion run as separate
 # commands (no pipe) so a failing benchmark fails the target instead of
-# silently producing a truncated snapshot.
+# silently producing a truncated snapshot. The second leg re-runs the
+# single-image restart-sharding benchmarks under a -cpu 1,4,8 sweep so
+# the snapshot captures how sharded encode/decode scales with cores.
 bench-json:
 	$(GO) test -run XXX -bench . -benchmem ./... > BENCH_$(PR).txt
+	$(GO) test -run XXX -bench Sharded -benchmem -cpu 1,4,8 ./internal/jpegcodec >> BENCH_$(PR).txt
 	$(GO) run ./scripts/bench2json < BENCH_$(PR).txt > BENCH_$(PR).json
 	@rm -f BENCH_$(PR).txt
 	@echo "wrote BENCH_$(PR).json"

@@ -118,6 +118,8 @@ func runRequantize(args []string) error {
 	deepn := fs.Bool("deepn", false, "retarget to a DeepN-JPEG table calibrated on SynthNet")
 	optimize := fs.Bool("optimize", true, "optimized Huffman tables")
 	workers := fs.Int("workers", 0, "worker-pool size for directory requantization (0 = GOMAXPROCS)")
+	restart := fs.Int("restart", 0, "output restart interval: 0 = preserve the source's, -1 = strip, n = set n MCUs")
+	shard := fs.Int("shard", 0, "restart-segment workers within one image: 0 = auto, 1 = off, n = force n")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,7 +129,7 @@ func runRequantize(args []string) error {
 	// Both table choices go through the public requantize API — the same
 	// code path (and pooled decoder scratch) the HTTP server dispatches
 	// to — so the CLI only decides which tables and does the file IO.
-	ropts := deepnjpeg.RequantizeOptions{OptimizeHuffman: *optimize}
+	ropts := deepnjpeg.RequantizeOptions{OptimizeHuffman: *optimize, RestartInterval: *restart, ShardWorkers: *shard}
 	var requant func(src []byte) ([]byte, error)
 	if *deepn {
 		codec, err := synthNetCodec(deepnjpeg.CalibrateConfig{})
@@ -599,13 +601,15 @@ func runEncode(args []string) error {
 	optimize := fs.Bool("optimize", false, "optimized Huffman tables")
 	workers := fs.Int("workers", 0, "worker-pool size for directory encoding (0 = GOMAXPROCS)")
 	fastDCT := fs.Bool("fast-dct", false, "use the AAN fast DCT engine (identical output, faster)")
+	restart := fs.Int("restart", 0, "insert RSTn markers every n MCUs (0 = none; enables single-image parallel coding)")
+	shard := fs.Int("shard", 0, "restart-segment workers within one image: 0 = auto, 1 = off, n = force n")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("encode needs -in and -out")
 	}
-	opts := jpegcodec.Options{OptimizeHuffman: *optimize}
+	opts := jpegcodec.Options{OptimizeHuffman: *optimize, RestartInterval: *restart, ShardWorkers: *shard}
 	if *fastDCT {
 		opts.Transform = deepnjpeg.TransformAAN
 	}
@@ -720,13 +724,14 @@ func runDecode(args []string) error {
 	format := fs.String("format", "png", "output format for directory decoding: png, ppm or pgm")
 	workers := fs.Int("workers", 0, "worker-pool size for directory decoding (0 = GOMAXPROCS)")
 	fastDCT := fs.Bool("fast-dct", false, "use the AAN fast IDCT engine for reconstruction")
+	shard := fs.Int("shard", 0, "restart-segment workers within one image: 0 = auto, 1 = off, n = force n")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decode needs -in and -out")
 	}
-	opts := deepnjpeg.DecodeOptions{}
+	opts := deepnjpeg.DecodeOptions{ShardWorkers: *shard}
 	if *fastDCT {
 		opts.Transform = deepnjpeg.TransformAAN
 	}

@@ -242,6 +242,47 @@ func (c *Codec) EncodeGray(img *Gray) ([]byte, error) {
 	return c.fw.Scheme().EncodeGray(img)
 }
 
+// EncodeOptions tunes the stream-shaping knobs of EncodeWith and
+// EncodeGrayWith beyond the calibrated defaults of Encode.
+type EncodeOptions struct {
+	// RestartInterval inserts RSTn markers every n MCUs when > 0 (valid
+	// range [0, 65535] — the DRI payload is 16-bit). Restart segments
+	// bound error propagation in the stream and are the unit of
+	// single-image parallel entropy coding on both the encode and decode
+	// side.
+	RestartInterval int
+	// ShardWorkers controls restart-interval sharded entropy coding:
+	// 0 selects auto (parallel across GOMAXPROCS on large frames), 1 or
+	// any negative value forces the sequential path, values ≥ 2 force
+	// that many workers. The stream is byte-identical either way; the
+	// knob only trades latency against cores. Ignored without a restart
+	// interval.
+	ShardWorkers int
+	// OptimizeHuffman derives per-image Huffman tables (two-pass encode),
+	// matching libjpeg's -optimize flag.
+	OptimizeHuffman bool
+}
+
+// EncodeWith is Encode with explicit stream-shaping options — restart
+// intervals, sharded entropy coding, Huffman optimization — on top of
+// the calibrated tables.
+func (c *Codec) EncodeWith(img *Image, opts EncodeOptions) ([]byte, error) {
+	s := c.fw.Scheme()
+	s.Opts.RestartInterval = opts.RestartInterval
+	s.Opts.ShardWorkers = opts.ShardWorkers
+	s.Opts.OptimizeHuffman = opts.OptimizeHuffman
+	return s.EncodeRGB(img)
+}
+
+// EncodeGrayWith is EncodeGray with explicit stream-shaping options.
+func (c *Codec) EncodeGrayWith(img *Gray, opts EncodeOptions) ([]byte, error) {
+	s := c.fw.Scheme()
+	s.Opts.RestartInterval = opts.RestartInterval
+	s.Opts.ShardWorkers = opts.ShardWorkers
+	s.Opts.OptimizeHuffman = opts.OptimizeHuffman
+	return s.EncodeGray(img)
+}
+
 // BatchOptions configures the concurrent batch API.
 type BatchOptions struct {
 	// Workers is the worker-pool size; ≤ 0 selects runtime.GOMAXPROCS.
@@ -290,6 +331,14 @@ type DecodeOptions struct {
 	// sizes its working set from the header, so a tiny hostile stream can
 	// otherwise demand gigabytes.
 	MaxPixels int
+	// ShardWorkers controls restart-interval sharded decoding: streams
+	// that carry a restart interval split into independently decodable
+	// segments, which fan out across a worker pool. 0 selects auto
+	// (parallel across GOMAXPROCS on large frames), 1 or any negative
+	// value forces the sequential path, values ≥ 2 force that many
+	// workers. Accepted streams and decoded pixels are identical either
+	// way.
+	ShardWorkers int
 }
 
 // DecodeBatch decodes a batch of baseline JFIF/JPEG streams concurrently
@@ -314,7 +363,7 @@ func DecodeBatchInto(ctx context.Context, streams [][]byte, dst []*Image, opts B
 	} else if len(dst) != len(streams) {
 		return nil, fmt.Errorf("deepnjpeg: %d reuse buffers for %d streams", len(dst), len(streams))
 	}
-	jopts := jpegcodec.DecodeOptions{Transform: dopts.Transform, MaxPixels: dopts.MaxPixels}
+	jopts := jpegcodec.DecodeOptions{Transform: dopts.Transform, MaxPixels: dopts.MaxPixels, ShardWorkers: dopts.ShardWorkers}
 	// One Decoded and one reader per pool worker, checked out for the
 	// whole batch: items share their worker's parse state and planes
 	// instead of cycling them through the pool per stream.
@@ -358,7 +407,7 @@ func Decode(data []byte) (*Image, error) {
 func DecodeInto(dst *Image, data []byte, opts DecodeOptions) (*Image, error) {
 	dec := decodedPool.Get().(*jpegcodec.Decoded)
 	defer decodedPool.Put(dec)
-	jopts := jpegcodec.DecodeOptions{Transform: opts.Transform, MaxPixels: opts.MaxPixels}
+	jopts := jpegcodec.DecodeOptions{Transform: opts.Transform, MaxPixels: opts.MaxPixels, ShardWorkers: opts.ShardWorkers}
 	if err := jpegcodec.DecodeInto(bytes.NewReader(data), dec, &jopts); err != nil {
 		return nil, err
 	}
@@ -410,6 +459,14 @@ type RequantizeOptions struct {
 	// MaxPixels rejects source frames larger than this (0 = unlimited),
 	// as in DecodeOptions.MaxPixels.
 	MaxPixels int
+	// RestartInterval controls the output stream's restart interval:
+	// 0 preserves the source stream's interval (transcoding is
+	// structure-preserving by default), a negative value strips restart
+	// markers, and a positive value ≤ 65535 sets a new interval.
+	RestartInterval int
+	// ShardWorkers controls restart-interval sharded entropy coding of
+	// the output, as in EncodeOptions.ShardWorkers.
+	ShardWorkers int
 }
 
 // Requantize re-targets an existing baseline JPEG stream onto the codec's
@@ -464,7 +521,11 @@ func requantizeInto(dec *jpegcodec.Decoded, src []byte, luma, chroma QuantTable,
 		return nil, err
 	}
 	var buf bytes.Buffer
-	jopts := jpegcodec.Options{OptimizeHuffman: opts.OptimizeHuffman}
+	jopts := jpegcodec.Options{
+		OptimizeHuffman: opts.OptimizeHuffman,
+		RestartInterval: opts.RestartInterval,
+		ShardWorkers:    opts.ShardWorkers,
+	}
 	if err := jpegcodec.Requantize(&buf, dec, luma, chroma, &jopts); err != nil {
 		return nil, err
 	}

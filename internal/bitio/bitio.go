@@ -81,16 +81,28 @@ func (bw *Writer) emit(b byte) {
 	}
 }
 
-// Flush pads the final partial byte with 1-bits (the JPEG convention, which
-// makes padding decode as a fill prefix of a marker) and writes all pending
-// bytes to the underlying writer.
-func (bw *Writer) Flush() error {
+// Pad completes the final partial byte with 1-bits (the JPEG convention,
+// which makes padding decode as a fill prefix of a marker) without
+// flushing, so a segment encoder can take the finished bytes with Bytes
+// and stitch them between restart markers itself.
+func (bw *Writer) Pad() {
 	if bw.nacc > 0 {
 		pad := 8 - bw.nacc
 		bw.acc = bw.acc<<pad | ((1 << pad) - 1)
 		bw.nacc = 0
 		bw.emit(byte(bw.acc))
 	}
+}
+
+// Bytes returns the pending output bytes accumulated since the last Reset
+// or Flush. The slice aliases the Writer's internal buffer and is
+// invalidated by the next WriteBits, Pad, Flush or Reset.
+func (bw *Writer) Bytes() []byte { return bw.buf }
+
+// Flush pads the final partial byte with 1-bits and writes all pending
+// bytes to the underlying writer.
+func (bw *Writer) Flush() error {
+	bw.Pad()
 	if len(bw.buf) > 0 {
 		if _, err := bw.w.Write(bw.buf); err != nil {
 			return err
@@ -111,7 +123,25 @@ type Reader struct {
 	acc    uint32
 	nacc   uint
 	stuff  bool
-	marker byte // pending marker code once ErrMarker has been returned
+	marker byte        // pending marker code once ErrMarker has been returned
+	sr     sliceReader // built-in source for ResetBytes
+}
+
+// sliceReader is the Reader's built-in byte source for ResetBytes: a
+// cursor over a caller-owned slice, so segment-bounded reading costs no
+// bytes.Reader allocation per segment.
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func (sr *sliceReader) ReadByte() (byte, error) {
+	if sr.i >= len(sr.b) {
+		return 0, io.EOF
+	}
+	b := sr.b[sr.i]
+	sr.i++
+	return b, nil
 }
 
 // NewReader returns a Reader that removes JPEG byte stuffing and stops at
@@ -133,6 +163,30 @@ func (br *Reader) Reset(r io.ByteReader) {
 	br.acc = 0
 	br.nacc = 0
 	br.marker = 0
+	br.sr = sliceReader{}
+}
+
+// ResetBytes is Reset reading from a byte slice through the Reader's
+// internal cursor. It is the segment-bounded mode sharded decoding uses:
+// one restart segment per ResetBytes, no per-segment allocation, and
+// Exhausted reports whether the segment was consumed completely.
+func (br *Reader) ResetBytes(b []byte) {
+	br.acc = 0
+	br.nacc = 0
+	br.marker = 0
+	br.sr = sliceReader{b: b}
+	br.r = &br.sr
+}
+
+// Exhausted reports whether a ResetBytes Reader has consumed its whole
+// slice with fewer than 8 buffered bits remaining — i.e. nothing is left
+// but (at most) the final byte's padding bits. A restart segment that
+// finishes its MCU quota while whole bytes remain holds trailing data a
+// sequential decoder would trip over at the next marker, so sharded
+// decoding uses this as its segment-completeness check. Only meaningful
+// after ResetBytes.
+func (br *Reader) Exhausted() bool {
+	return br.r == &br.sr && br.sr.i == len(br.sr.b) && br.nacc < 8 && br.marker == 0
 }
 
 // ReadBits reads n bits (n ≤ 24) MSB-first and returns them in the low bits

@@ -231,6 +231,143 @@ func TestPropertyNoForgedMarkers(t *testing.T) {
 	}
 }
 
+// Property: Pad+Bytes yields exactly the byte sequence Flush would have
+// written, including stuffed bytes — the contract the sharded encoder
+// relies on when it stitches segment buffers between restart markers.
+func TestPropertyPadBytesMatchesFlush(t *testing.T) {
+	f := func(data []byte, tail uint8) bool {
+		nTail := uint(tail % 8) // 0..7 trailing bits forcing a partial byte
+		var buf bytes.Buffer
+		flushed := NewWriter(&buf)
+		padded := NewWriter(io.Discard)
+		for _, b := range data {
+			if err := flushed.WriteBits(uint32(b), 8); err != nil {
+				return false
+			}
+			if err := padded.WriteBits(uint32(b), 8); err != nil {
+				return false
+			}
+		}
+		if nTail > 0 {
+			v := uint32(tail) & ((1 << nTail) - 1)
+			if err := flushed.WriteBits(v, nTail); err != nil {
+				return false
+			}
+			if err := padded.WriteBits(v, nTail); err != nil {
+				return false
+			}
+		}
+		if err := flushed.Flush(); err != nil {
+			return false
+		}
+		padded.Pad()
+		return bytes.Equal(buf.Bytes(), padded.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPadStuffsPaddedByte(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteBits(0x7F, 7); err != nil { // 1111111 + pad 1 → 0xFF
+		t.Fatal(err)
+	}
+	w.Pad()
+	if got := w.Bytes(); !bytes.Equal(got, []byte{0xFF, 0x00}) {
+		t.Fatalf("got % X, want FF 00", got)
+	}
+}
+
+func TestPadOnByteBoundaryIsNoop(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteBits(0xAB, 8); err != nil {
+		t.Fatal(err)
+	}
+	w.Pad()
+	w.Pad()
+	if got := w.Bytes(); !bytes.Equal(got, []byte{0xAB}) {
+		t.Fatalf("got % X, want AB", got)
+	}
+}
+
+func TestResetBytesReadsSlice(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	r.ResetBytes([]byte{0xFF, 0x00, 0x12}) // stuffed 0xFF then 0x12
+	if v, err := r.ReadBits(8); err != nil || v != 0xFF {
+		t.Fatalf("got %#x, %v; want 0xFF", v, err)
+	}
+	if v, err := r.ReadBits(8); err != nil || v != 0x12 {
+		t.Fatalf("got %#x, %v; want 0x12", v, err)
+	}
+	if _, err := r.ReadBits(1); err != io.EOF {
+		t.Fatalf("got %v, want io.EOF", err)
+	}
+}
+
+func TestResetBytesClearsPendingMarker(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0xFF, 0xD0}))
+	if _, err := r.ReadBits(8); !errors.Is(err, ErrMarker) {
+		t.Fatalf("got %v, want ErrMarker", err)
+	}
+	r.ResetBytes([]byte{0x42})
+	if v, err := r.ReadBits(8); err != nil || v != 0x42 {
+		t.Fatalf("got %#x, %v; want 0x42", v, err)
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+
+	// Not in ResetBytes mode: never exhausted.
+	r.Reset(bytes.NewReader(nil))
+	if r.Exhausted() {
+		t.Fatal("Exhausted true for a non-ResetBytes reader")
+	}
+
+	// Fully consumed slice with only padding bits left.
+	r.ResetBytes([]byte{0xA5})
+	if _, err := r.ReadBits(5); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exhausted() {
+		t.Fatal("Exhausted false with 3 padding bits left")
+	}
+
+	// Whole unread byte buffered: not exhausted.
+	r.ResetBytes([]byte{0xA5, 0x5A})
+	if _, err := r.ReadBits(5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Exhausted() {
+		t.Fatal("Exhausted true with a whole unread byte buffered")
+	}
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exhausted() {
+		t.Fatal("Exhausted false after consuming all whole bytes")
+	}
+
+	// Unread bytes still in the slice: not exhausted.
+	r.ResetBytes([]byte{0x01, 0x02})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if r.Exhausted() {
+		t.Fatal("Exhausted true with an unread slice byte")
+	}
+
+	// A marker inside the segment keeps it from counting as exhausted.
+	r.ResetBytes([]byte{0xFF, 0xD3})
+	if _, err := r.ReadBits(8); !errors.Is(err, ErrMarker) {
+		t.Fatalf("got %v, want ErrMarker", err)
+	}
+	if r.Exhausted() {
+		t.Fatal("Exhausted true with a pending marker")
+	}
+}
+
 func BenchmarkWriteBits(b *testing.B) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

@@ -8,6 +8,7 @@
 package jpegcodec
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/dct"
@@ -68,8 +69,23 @@ type Options struct {
 	// ZeroMask forces the marked coefficients to zero before entropy
 	// coding (the RM-HF scheme). Applies to all components.
 	ZeroMask *qtable.ZeroMask
-	// RestartInterval inserts RSTn markers every n MCUs when > 0.
+	// RestartInterval inserts RSTn markers every n MCUs when > 0. The
+	// valid range is [0, 65535]: the DRI payload is a 16-bit MCU count,
+	// so larger values cannot be represented and are rejected. In
+	// Requantize, 0 inherits the source stream's interval and a negative
+	// value strips restart markers from the output.
 	RestartInterval int
+	// ShardWorkers controls restart-interval sharded entropy coding, the
+	// single-image parallelism lever. When RestartInterval > 0 every
+	// restart segment is independently codable (the DC predictor resets
+	// at each RSTn and segments start byte-aligned), so Huffman
+	// statistics gathering and scan emission fan out across a worker
+	// pool and the segment buffers are stitched back in order — the
+	// output is byte-identical to the sequential path. 0 selects auto
+	// mode (shard across GOMAXPROCS when the frame is large enough to
+	// pay for the fan-out); 1 or any negative value forces sequential;
+	// values ≥ 2 force that many workers, capped at the segment count.
+	ShardWorkers int
 	// Transform selects the block-transform engine for the forward DCT.
 	// The zero value (dct.TransformNaive) keeps the separable row–column
 	// path; dct.TransformAAN switches to the fast AAN butterfly. Both
@@ -112,6 +128,18 @@ func PrecomputeScaled(luma, chroma qtable.Table, xf dct.Transform) *ScaledTables
 // set and engine.
 func (st *ScaledTables) matches(luma, chroma *qtable.Table, xf dct.Transform) bool {
 	return st != nil && st.xf == xf && st.luma == *luma && st.chroma == *chroma
+}
+
+// validateRestartInterval rejects intervals the DRI segment cannot
+// represent: its payload is a 16-bit big-endian MCU count, so anything
+// outside [0, 65535] would truncate silently (65536 would emit DRI=0)
+// and produce a stream whose declared interval disagrees with the actual
+// marker placement.
+func validateRestartInterval(ri int) error {
+	if ri < 0 || ri > 0xFFFF {
+		return fmt.Errorf("jpegcodec: restart interval %d outside [0, 65535]", ri)
+	}
+	return nil
 }
 
 // withDefaults fills in zero-valued tables.

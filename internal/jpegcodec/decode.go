@@ -125,6 +125,18 @@ type DecodeOptions struct {
 	// hostile stream can otherwise demand gigabytes; servers and fuzzers
 	// feeding untrusted bytes should always set a bound.
 	MaxPixels int
+	// ShardWorkers controls restart-interval sharded decoding, the
+	// single-image parallelism lever: when the stream declares a restart
+	// interval the entropy data is byte-scanned into its restart
+	// segments (markers are byte-aligned and cannot occur inside stuffed
+	// entropy data) and the segments decode concurrently, each on its
+	// own pooled bit reader with a fresh DC predictor. 0 selects auto
+	// mode (shard across GOMAXPROCS when the frame is large enough to
+	// pay for the fan-out); 1 or any negative value forces the
+	// sequential path; values ≥ 2 force that many workers, capped at the
+	// segment count. The set of accepted streams and the decoded output
+	// are identical either way.
+	ShardWorkers int
 }
 
 // decoder carries parsing state. Decoders are pooled: every field either
@@ -146,6 +158,14 @@ type decoder struct {
 	w, h      int
 	ri        int // restart interval in MCUs
 	maxPixels int // reject frames larger than this (0 = unlimited)
+	shard     int // ShardWorkers request for restart-sharded decoding
+
+	// Sharded-decode scratch, retained across decodes: the raw scan
+	// bytes, the segment end offsets within them, and the derived
+	// per-segment subslices.
+	scanBuf   []byte
+	segBounds []int
+	segs      [][]byte
 }
 
 // release drops references to caller-owned memory and returns the
@@ -162,6 +182,8 @@ func (d *decoder) release() {
 	d.comps = nil
 	d.w, d.h, d.ri = 0, 0, 0
 	d.maxPixels = 0
+	d.shard = 0
+	d.segs = d.segs[:0]
 	decoderPool.Put(d)
 }
 
@@ -206,6 +228,7 @@ func DecodeInto(r io.Reader, dst *Decoded, opts *DecodeOptions) error {
 	d.dst = dst
 	d.xf = o.Transform
 	d.maxPixels = o.MaxPixels
+	d.shard = o.ShardWorkers
 	err := d.run()
 	d.release()
 	br.Reset(eofReader{}) // drop the caller's reader before pooling
@@ -544,44 +567,56 @@ func (d *decoder) parseSOSAndScan() error {
 		tbl.InvScaledInto(&c.inv, d.xf)
 	}
 
+	if nw := shardWorkersFor(d.shard, d.ri, mcusX*mcusY); nw > 1 {
+		return d.scanSharded(mcusX, mcusY, nw)
+	}
+	return d.scanSequential(mcusX, mcusY)
+}
+
+// scanSequential entropy-decodes the scan MCU by MCU on the calling
+// goroutine. Restart markers must appear in their defined D0..D7 cycle —
+// a stream whose markers are out of sequence has lost or reordered
+// segments, and decoding past the desync would silently produce garbage
+// pixels.
+func (d *decoder) scanSequential(mcusX, mcusY int) error {
 	br := d.bits
 	br.Reset(d.br)
 	var prevDC [4]int32 // indexed by component position in comps
 	var tile [64]uint8
-	mcu := 0
-	for my := 0; my < mcusY; my++ {
-		for mx := 0; mx < mcusX; mx++ {
-			if d.ri > 0 && mcu > 0 && mcu%d.ri == 0 {
-				m, err := br.ReadMarker()
-				if err != nil {
-					return fmt.Errorf("jpegcodec: reading restart marker: %w", err)
-				}
-				if m < mRST0 || m > mRST0+7 {
-					return fmt.Errorf("jpegcodec: expected RSTn, found %#02x", m)
-				}
-				prevDC = [4]int32{}
+	rst := 0 // expected index of the next restart marker
+	total := mcusX * mcusY
+	for mcu := 0; mcu < total; mcu++ {
+		my, mx := mcu/mcusX, mcu%mcusX
+		if d.ri > 0 && mcu > 0 && mcu%d.ri == 0 {
+			m, err := br.ReadMarker()
+			if err != nil {
+				return fmt.Errorf("jpegcodec: reading restart marker: %w", err)
 			}
-			for ci, c := range d.comps {
-				dcTab := d.huff[0<<2|c.td]
-				acTab := d.huff[1<<2|c.ta]
-				if dcTab == nil || acTab == nil {
-					return fmt.Errorf("jpegcodec: missing huffman tables %d/%d", c.td, c.ta)
-				}
-				for vy := 0; vy < c.v; vy++ {
-					for vx := 0; vx < c.h; vx++ {
-						coefs, err := decodeBlock(br, dcTab, acTab, prevDC[ci])
-						if err != nil {
-							return err
-						}
-						prevDC[ci] = coefs[0]
-						bx, by := mx*c.h+vx, my*c.v+vy
-						c.coefs[by*c.blocksX+bx] = coefs
-						reconstructBlock(&coefs, &c.inv, &tile, d.xf)
-						imgutil.StoreBlock(c.pix, c.w, c.hgt, bx, by, &tile)
+			if m != byte(mRST0+rst) {
+				return fmt.Errorf("jpegcodec: expected RST%d, found %#02x", rst, m)
+			}
+			rst = (rst + 1) % 8
+			prevDC = [4]int32{}
+		}
+		for ci, c := range d.comps {
+			dcTab := d.huff[0<<2|c.td]
+			acTab := d.huff[1<<2|c.ta]
+			if dcTab == nil || acTab == nil {
+				return fmt.Errorf("jpegcodec: missing huffman tables %d/%d", c.td, c.ta)
+			}
+			for vy := 0; vy < c.v; vy++ {
+				for vx := 0; vx < c.h; vx++ {
+					coefs, err := decodeBlock(br, dcTab, acTab, prevDC[ci])
+					if err != nil {
+						return err
 					}
+					prevDC[ci] = coefs[0]
+					bx, by := mx*c.h+vx, my*c.v+vy
+					c.coefs[by*c.blocksX+bx] = coefs
+					reconstructBlock(&coefs, &c.inv, &tile, d.xf)
+					imgutil.StoreBlock(c.pix, c.w, c.hgt, bx, by, &tile)
 				}
 			}
-			mcu++
 		}
 	}
 	// Consume the trailing EOI (tolerate a missing one).

@@ -82,6 +82,9 @@ func encode(w io.Writer, width, height int, comps []*component, o *Options, scra
 	if !o.Transform.Valid() {
 		return fmt.Errorf("jpegcodec: unknown transform engine %d", o.Transform)
 	}
+	if err := validateRestartInterval(o.RestartInterval); err != nil {
+		return err
+	}
 	maxH, maxV := 1, 1
 	for _, c := range comps {
 		maxH = max(maxH, c.h)
@@ -138,7 +141,7 @@ func encodeTail(w io.Writer, width, height int, comps []*component, mcusX, mcusY
 	specs := [4]*HuffmanSpec{&StdDCLuminance, &StdACLuminance, &StdDCChrominance, &StdACChrominance}
 	var enc [4]*encTable
 	if o.OptimizeHuffman {
-		opt, err := optimizeHuffman(comps, mcusX, mcusY, o.RestartInterval)
+		opt, err := optimizeHuffman(comps, mcusX, mcusY, o.RestartInterval, o.ShardWorkers)
 		if err != nil {
 			return err
 		}
@@ -174,7 +177,11 @@ func encodeTail(w io.Writer, width, height int, comps []*component, mcusX, mcusY
 	if err := writeMarkers(bw, width, height, comps, specs, o); err != nil {
 		return err
 	}
-	if err := writeScan(bw, comps, enc, mcusX, mcusY, o.RestartInterval); err != nil {
+	if nw := shardWorkersFor(o.ShardWorkers, o.RestartInterval, mcusX*mcusY); nw > 1 {
+		if err := writeScanSharded(bw, comps, enc, mcusX, mcusY, o.RestartInterval, nw); err != nil {
+			return err
+		}
+	} else if err := writeScan(bw, comps, enc, mcusX, mcusY, o.RestartInterval); err != nil {
 		return err
 	}
 	if err := writeMarker(bw, mEOI); err != nil {
@@ -192,53 +199,39 @@ func tableIDs(c *component) (dc, ac int) {
 	return 2, 3
 }
 
-// forEachDataUnit visits every block in scan (MCU-interleaved) order,
-// resetting DC predictors at restart boundaries, and invokes fn with the
-// owning component and block. fn signals restarts are due by the encoder
-// emitting them separately; this driver only defines the order.
-func forEachDataUnit(comps []*component, mcusX, mcusY int, fn func(c *component, blockIndex int)) {
-	for my := 0; my < mcusY; my++ {
-		for mx := 0; mx < mcusX; mx++ {
-			for _, c := range comps {
-				for vy := 0; vy < c.v; vy++ {
-					for vx := 0; vx < c.h; vx++ {
-						bx := mx*c.h + vx
-						by := my*c.v + vy
-						fn(c, by*c.blocksX+bx)
-					}
-				}
+// countMCUSymbols tallies the symbols the mcu-th MCU (scan order) would
+// emit, advancing the caller's DC predictors — the statistics unit shared
+// by the sequential and sharded gather paths.
+func countMCUSymbols(comps []*component, mcusX, mcu int, prevDC *[4]int32, freqs *[4][256]int64) {
+	my, mx := mcu/mcusX, mcu%mcusX
+	for ci, c := range comps {
+		dcID, acID := tableIDs(c)
+		for vy := 0; vy < c.v; vy++ {
+			for vx := 0; vx < c.h; vx++ {
+				coefs := &c.coefs[(my*c.v+vy)*c.blocksX+mx*c.h+vx]
+				countBlockSymbols(coefs, prevDC[ci], &freqs[dcID], &freqs[acID])
+				prevDC[ci] = coefs[0]
 			}
 		}
 	}
 }
 
 // optimizeHuffman gathers symbol statistics over the exact emission
-// sequence and builds per-image tables.
-func optimizeHuffman(comps []*component, mcusX, mcusY, restart int) ([4]*HuffmanSpec, error) {
+// sequence and builds per-image tables. With a restart interval and a
+// multi-worker budget the gather fans out per restart segment; symbol
+// counts are per-segment sums, so the merged statistics are exact.
+func optimizeHuffman(comps []*component, mcusX, mcusY, restart, workers int) ([4]*HuffmanSpec, error) {
 	var freqs [4][256]int64
-	var prevDC [4]int32 // indexed by component position in comps
-	mcu := 0
-	countMCU := func(my, mx int) {
-		for ci, c := range comps {
-			dcID, acID := tableIDs(c)
-			for vy := 0; vy < c.v; vy++ {
-				for vx := 0; vx < c.h; vx++ {
-					bx := mx*c.h + vx
-					by := my*c.v + vy
-					coefs := &c.coefs[by*c.blocksX+bx]
-					countBlockSymbols(coefs, prevDC[ci], &freqs[dcID], &freqs[acID])
-					prevDC[ci] = coefs[0]
-				}
-			}
-		}
-	}
-	for my := 0; my < mcusY; my++ {
-		for mx := 0; mx < mcusX; mx++ {
+	total := mcusX * mcusY
+	if nw := shardWorkersFor(workers, restart, total); nw > 1 {
+		gatherStatsSharded(comps, mcusX, total, restart, nw, &freqs)
+	} else {
+		var prevDC [4]int32 // indexed by component position in comps
+		for mcu := 0; mcu < total; mcu++ {
 			if restart > 0 && mcu > 0 && mcu%restart == 0 {
 				prevDC = [4]int32{}
 			}
-			countMCU(my, mx)
-			mcu++
+			countMCUSymbols(comps, mcusX, mcu, &prevDC, &freqs)
 		}
 	}
 
@@ -290,38 +283,44 @@ func writeScan(w *bufio.Writer, comps []*component, enc [4]*encTable, mcusX, mcu
 		bitwPool.Put(bw)
 	}()
 	var prevDC [4]int32 // indexed by component position in comps
-	mcu := 0
 	rstIndex := 0
-	for my := 0; my < mcusY; my++ {
-		for mx := 0; mx < mcusX; mx++ {
-			if restart > 0 && mcu > 0 && mcu%restart == 0 {
-				if err := bw.Flush(); err != nil {
-					return err
-				}
-				if err := writeMarker(w, byte(mRST0+rstIndex)); err != nil {
-					return err
-				}
-				rstIndex = (rstIndex + 1) % 8
-				prevDC = [4]int32{}
+	total := mcusX * mcusY
+	for mcu := 0; mcu < total; mcu++ {
+		if restart > 0 && mcu > 0 && mcu%restart == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
 			}
-			for ci, c := range comps {
-				dcID, acID := tableIDs(c)
-				for vy := 0; vy < c.v; vy++ {
-					for vx := 0; vx < c.h; vx++ {
-						bx := mx*c.h + vx
-						by := my*c.v + vy
-						coefs := &c.coefs[by*c.blocksX+bx]
-						if err := encodeBlock(bw, coefs, prevDC[ci], enc[dcID], enc[acID]); err != nil {
-							return err
-						}
-						prevDC[ci] = coefs[0]
-					}
-				}
+			if err := writeMarker(w, byte(mRST0+rstIndex)); err != nil {
+				return err
 			}
-			mcu++
+			rstIndex = (rstIndex + 1) % 8
+			prevDC = [4]int32{}
+		}
+		if err := encodeMCU(bw, comps, enc, mcusX, mcu, &prevDC); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// encodeMCU entropy-codes the mcu-th MCU (scan order), advancing the
+// caller's DC predictors — the emission unit shared by the sequential
+// and sharded scan writers.
+func encodeMCU(bw *bitio.Writer, comps []*component, enc [4]*encTable, mcusX, mcu int, prevDC *[4]int32) error {
+	my, mx := mcu/mcusX, mcu%mcusX
+	for ci, c := range comps {
+		dcID, acID := tableIDs(c)
+		for vy := 0; vy < c.v; vy++ {
+			for vx := 0; vx < c.h; vx++ {
+				coefs := &c.coefs[(my*c.v+vy)*c.blocksX+mx*c.h+vx]
+				if err := encodeBlock(bw, coefs, prevDC[ci], enc[dcID], enc[acID]); err != nil {
+					return err
+				}
+				prevDC[ci] = coefs[0]
+			}
+		}
+	}
+	return nil
 }
 
 // encodeBlock entropy-codes one block of natural-order coefficients.

@@ -84,6 +84,11 @@ func (eofReader) ReadByte() (byte, error) { return 0, io.EOF }
 // bufrPool recycles the decoder's buffered readers.
 var bufrPool = sync.Pool{New: func() any { return bufio.NewReaderSize(eofReader{}, 1<<12) }}
 
+// bitrPool recycles segment-bounded entropy bit readers for the sharded
+// decode workers; the decoder's own bits reader serves the sequential
+// path.
+var bitrPool = sync.Pool{New: func() any { return bitio.NewReader(eofReader{}) }}
+
 // decoderPool recycles the decoder parse state: the entropy bit reader,
 // segment payload buffer, Huffman decode tables and component
 // descriptors. Output buffers are NOT pooled here — they belong to the

@@ -17,7 +17,11 @@ import (
 //
 // The optional mask zeroes bands before recoding (the RM-HF transform).
 // Huffman optimization is honored via opts; subsampling always matches
-// the source stream. Because no pixels are touched, the output is
+// the source stream. The restart interval is preserved by default — a
+// zero opts.RestartInterval inherits d.RestartInterval, so transcoding
+// keeps the stream's RSTn structure (and with it the sharded-decode
+// lever); a negative value strips restart markers and a positive one
+// replaces the interval. Because no pixels are touched, the output is
 // independent of Options.Transform — the engine choice only matters on
 // paths that run a DCT — but the option is still validated so a bad
 // configuration fails here exactly as it would on encode.
@@ -36,6 +40,14 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 	}
 	if !o.Transform.Valid() {
 		return fmt.Errorf("jpegcodec: unknown transform engine %d", o.Transform)
+	}
+	if o.RestartInterval == 0 {
+		o.RestartInterval = d.RestartInterval
+	} else if o.RestartInterval < 0 {
+		o.RestartInterval = 0
+	}
+	if err := validateRestartInterval(o.RestartInterval); err != nil {
+		return err
 	}
 	o.LumaTable = luma
 	o.ChromaTable = chroma

@@ -1,0 +1,99 @@
+package jpegcodec
+
+// Benchmarks for restart-sharded entropy coding inside a single image —
+// the single-image parallelism lever ISSUE 6 adds on top of the batch
+// pipeline. Run with a CPU sweep to see the scaling:
+//
+//	go test ./internal/jpegcodec -run XXX -bench Sharded -benchmem -cpu 1,4,8
+//
+// "seq" forces ShardWorkers:1 (the pre-sharding code path); "shard"
+// uses ShardWorkers:0, which auto-selects GOMAXPROCS workers, so the
+// -cpu sweep is what varies the worker count. The frame is 1024×1024
+// 4:2:0 with RestartInterval 64 → 4096 MCUs in 64 restart segments.
+// On a single-CPU host the two modes measure the same work plus the
+// sharding overhead; the ≥2× separation only appears at -cpu 4+ on
+// multi-core hardware.
+
+import (
+	"bytes"
+	"testing"
+)
+
+const (
+	benchShardDim = 1024
+	benchShardRI  = 64
+)
+
+var benchShardModes = []struct {
+	name    string
+	workers int
+}{
+	{"seq", 1},
+	{"shard", 0}, // auto: GOMAXPROCS workers, capped at segment count
+}
+
+func BenchmarkEncodeSharded(b *testing.B) {
+	img := testImageRGB(benchShardDim, benchShardDim, 31)
+	for _, mode := range benchShardModes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := &Options{RestartInterval: benchShardRI, ShardWorkers: mode.workers}
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.SetBytes(int64(len(img.Pix)))
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := EncodeRGB(&buf, img, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeShardedOptimized adds two-pass Huffman optimization,
+// where sharding parallelizes both the statistics pass and the scan.
+func BenchmarkEncodeShardedOptimized(b *testing.B) {
+	img := testImageRGB(benchShardDim, benchShardDim, 31)
+	for _, mode := range benchShardModes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := &Options{
+				RestartInterval: benchShardRI,
+				ShardWorkers:    mode.workers,
+				OptimizeHuffman: true,
+			}
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.SetBytes(int64(len(img.Pix)))
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := EncodeRGB(&buf, img, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeSharded(b *testing.B) {
+	img := testImageRGB(benchShardDim, benchShardDim, 31)
+	var stream bytes.Buffer
+	if err := EncodeRGB(&stream, img, &Options{RestartInterval: benchShardRI}); err != nil {
+		b.Fatal(err)
+	}
+	data := stream.Bytes()
+	for _, mode := range benchShardModes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := &DecodeOptions{ShardWorkers: mode.workers}
+			var dec Decoded
+			r := bytes.NewReader(data)
+			b.ReportAllocs()
+			b.SetBytes(int64(3 * benchShardDim * benchShardDim))
+			for i := 0; i < b.N; i++ {
+				r.Reset(data)
+				if err := DecodeInto(r, &dec, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -683,7 +683,34 @@ func (s *Server) encodeOptions(fw *core.Framework, q url.Values) (jpegcodec.Opti
 	if opts.OptimizeHuffman, err = parseBoolParam(q, "optimize", false); err != nil {
 		return opts, err
 	}
+	if opts.RestartInterval, err = parseRestartParam(q, false); err != nil {
+		return opts, err
+	}
+	// ShardWorkers stays 0 (auto): one request saturating every core is
+	// fine when the box is idle, and under concurrent load the scheduler
+	// time-slices the segment goroutines like any other work.
 	return opts, nil
+}
+
+// parseRestartParam reads the ?restart= query parameter, the output
+// restart interval in MCUs. Encode treats 0 (the default) as "no restart
+// markers"; requantize (allowNegative) treats 0 as "preserve the
+// source's interval" and -1 as "strip restart markers".
+func parseRestartParam(q url.Values, allowNegative bool) (int, error) {
+	v := q.Get("restart")
+	if v == "" {
+		return 0, nil
+	}
+	lo := 0
+	if allowNegative {
+		lo = -1
+	}
+	ri, err := strconv.Atoi(v)
+	if err != nil || ri < lo || ri > 0xFFFF {
+		return 0, errf(http.StatusBadRequest, "bad_restart",
+			"restart=%q must be an integer in [%d,65535]", v, lo)
+	}
+	return ri, nil
 }
 
 // requantizeTables picks the target tables of a requantize request
@@ -930,6 +957,10 @@ func (s *Server) handleRequantize(w http.ResponseWriter, r *http.Request, t *ten
 	if err != nil {
 		return err
 	}
+	restart, err := parseRestartParam(q, true)
+	if err != nil {
+		return err
+	}
 	body, err := s.readBody(r, t)
 	if err != nil {
 		return err
@@ -943,7 +974,7 @@ func (s *Server) handleRequantize(w http.ResponseWriter, r *http.Request, t *ten
 	buf := s.bufPool.Get().(*bytes.Buffer)
 	defer func() { buf.Reset(); s.bufPool.Put(buf) }()
 	buf.Reset()
-	jopts := jpegcodec.Options{OptimizeHuffman: optimize}
+	jopts := jpegcodec.Options{OptimizeHuffman: optimize, RestartInterval: restart}
 	if err := jpegcodec.Requantize(buf, dec, luma, chroma, &jopts); err != nil {
 		return err
 	}
@@ -1027,8 +1058,12 @@ func (s *Server) batchOpFor(fw *core.Framework, q url.Values) (*batchOp, error) 
 		if err != nil {
 			return nil, err
 		}
+		restart, err := parseRestartParam(q, true)
+		if err != nil {
+			return nil, err
+		}
 		dopts := jpegcodec.DecodeOptions{MaxPixels: s.opts.MaxPixels}
-		jopts := jpegcodec.Options{OptimizeHuffman: optimize}
+		jopts := jpegcodec.Options{OptimizeHuffman: optimize, RestartInterval: restart}
 		return &batchOp{contentType: "image/jpeg", run: func(sc *batchScratch, item []byte) ([]byte, error) {
 			sc.rd.Reset(item)
 			if err := jpegcodec.DecodeInto(&sc.rd, sc.dec, &dopts); err != nil {

@@ -198,6 +198,29 @@ func TestEncodeEndpointMatchesCodec(t *testing.T) {
 		}
 	})
 
+	t.Run("restart-4", func(t *testing.T) {
+		resp, got := post(t, ts.URL+"/v1/encode?restart=4", "", body, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, got)
+		}
+		opts := fw.Scheme().Opts
+		opts.RestartInterval = 4
+		var buf bytes.Buffer
+		if err := jpegcodec.EncodeRGB(&buf, img, &opts); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, buf.Bytes()) {
+			t.Fatal("server restart=4 stream differs from direct encode")
+		}
+		var dec jpegcodec.Decoded
+		if err := jpegcodec.DecodeInto(bytes.NewReader(got), &dec, nil); err != nil {
+			t.Fatal(err)
+		}
+		if dec.RestartInterval != 4 {
+			t.Fatalf("served stream carries restart interval %d, want 4", dec.RestartInterval)
+		}
+	})
+
 	t.Run("png-input", func(t *testing.T) {
 		var pngBuf bytes.Buffer
 		if err := writeImage(&pngBuf, img, outputFormat{"png", "image/png"}); err != nil {
@@ -314,6 +337,41 @@ func TestRequantizeEndpointMatchesCodec(t *testing.T) {
 		}
 		if len(got) >= len(src) {
 			t.Fatalf("qf-60 requantize grew the stream: %d → %d bytes", len(src), len(got))
+		}
+	})
+
+	t.Run("restart-semantics", func(t *testing.T) {
+		// A restart-carrying source keeps its interval through default
+		// requantization; ?restart=-1 strips it, ?restart=n replaces it.
+		var rBuf bytes.Buffer
+		rOpts := srcOpts
+		rOpts.RestartInterval = 2
+		if err := jpegcodec.EncodeRGB(&rBuf, img, &rOpts); err != nil {
+			t.Fatal(err)
+		}
+		rSrc := rBuf.Bytes()
+		interval := func(stream []byte) int {
+			var dec jpegcodec.Decoded
+			if err := jpegcodec.DecodeInto(bytes.NewReader(stream), &dec, nil); err != nil {
+				t.Fatal(err)
+			}
+			return dec.RestartInterval
+		}
+		for _, tc := range []struct {
+			query string
+			want  int
+		}{
+			{"", 2},
+			{"?restart=5", 5},
+			{"?restart=-1", 0},
+		} {
+			resp, got := post(t, ts.URL+"/v1/requantize"+tc.query, "image/jpeg", rSrc, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%q: status %d: %s", tc.query, resp.StatusCode, got)
+			}
+			if ri := interval(got); ri != tc.want {
+				t.Fatalf("%q: output restart interval %d, want %d", tc.query, ri, tc.want)
+			}
 		}
 	})
 }
@@ -547,6 +605,15 @@ func TestErrorPaths(t *testing.T) {
 	t.Run("bad-subsampling", func(t *testing.T) {
 		resp, body := post(t, ts.URL+"/v1/encode?subsampling=422", "", small, nil)
 		wantJSONError(t, resp, body, http.StatusBadRequest, "bad_subsampling")
+	})
+	t.Run("bad-restart", func(t *testing.T) {
+		resp, body := post(t, ts.URL+"/v1/encode?restart=65536", "", small, nil)
+		wantJSONError(t, resp, body, http.StatusBadRequest, "bad_restart")
+	})
+	t.Run("bad-restart-negative-encode", func(t *testing.T) {
+		// -1 means "strip" only on requantize; encode rejects it.
+		resp, body := post(t, ts.URL+"/v1/encode?restart=-1", "", small, nil)
+		wantJSONError(t, resp, body, http.StatusBadRequest, "bad_restart")
 	})
 	t.Run("bad-format", func(t *testing.T) {
 		resp, body := post(t, ts.URL+"/v1/decode?format=webp", "", stream, nil)

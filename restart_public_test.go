@@ -1,0 +1,191 @@
+package deepnjpeg
+
+// Public-API coverage for restart intervals and single-image sharded
+// entropy coding: EncodeWith/EncodeGrayWith stream shaping, the
+// DecodeOptions.ShardWorkers knob, and the restart semantics of
+// Requantize (inherit by default, strip on negative, replace on
+// positive). The byte-level matrix lives in internal/jpegcodec; this
+// file pins the exported surface.
+
+import (
+	"bytes"
+	"image/jpeg"
+	"testing"
+)
+
+// driValue walks the marker segments before SOS and returns the DRI
+// restart interval, or 0 when the stream declares none.
+func driValue(t *testing.T, stream []byte) int {
+	t.Helper()
+	if len(stream) < 4 || stream[0] != 0xFF || stream[1] != 0xD8 {
+		t.Fatalf("not a JPEG stream: % X", stream[:min(4, len(stream))])
+	}
+	i := 2
+	for i+4 <= len(stream) {
+		if stream[i] != 0xFF {
+			t.Fatalf("expected marker at offset %d, found %#02x", i, stream[i])
+		}
+		m := stream[i+1]
+		if m == 0xDA { // SOS: entropy data follows, no DRI seen
+			return 0
+		}
+		ln := int(stream[i+2])<<8 | int(stream[i+3])
+		if m == 0xDD {
+			return int(stream[i+4])<<8 | int(stream[i+5])
+		}
+		i += 2 + ln
+	}
+	t.Fatal("no SOS marker in stream")
+	return 0
+}
+
+func pixelsEqual(t *testing.T, want, got *Image, label string) {
+	t.Helper()
+	if want.W != got.W || want.H != got.H {
+		t.Fatalf("%s: geometry %dx%d vs %dx%d", label, want.W, want.H, got.W, got.H)
+	}
+	if !bytes.Equal(want.Pix, got.Pix) {
+		t.Fatalf("%s: pixel data differs", label)
+	}
+}
+
+func TestEncodeWithRestartInterval(t *testing.T) {
+	images, labels := calibrationSet(t)
+	codec, err := Calibrate(images, labels, CalibrateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := images[0]
+
+	plain, err := codec.Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted, err := codec.EncodeWith(img, EncodeOptions{RestartInterval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := driValue(t, restarted); got != 2 {
+		t.Fatalf("DRI = %d, want 2", got)
+	}
+	if got := driValue(t, plain); got != 0 {
+		t.Fatalf("default encode carries DRI %d, want none", got)
+	}
+
+	// Restart markers change the stream structure, not the image.
+	wantImg, err := Decode(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotImg, err := Decode(restarted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pixelsEqual(t, wantImg, gotImg, "restart-vs-plain")
+
+	// The restarted stream is still standard JFIF.
+	if _, err := jpeg.Decode(bytes.NewReader(restarted)); err != nil {
+		t.Fatalf("stdlib cannot decode restarted stream: %v", err)
+	}
+
+	// Sharded encoding is byte-identical to sequential, RGB and gray.
+	sharded, err := codec.EncodeWith(img, EncodeOptions{RestartInterval: 2, ShardWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restarted, sharded) {
+		t.Fatal("sharded encode differs from sequential")
+	}
+	gray := img.ToGray()
+	graySeq, err := codec.EncodeGrayWith(gray, EncodeOptions{RestartInterval: 2, ShardWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grayShard, err := codec.EncodeGrayWith(gray, EncodeOptions{RestartInterval: 2, ShardWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := driValue(t, graySeq); got != 2 {
+		t.Fatalf("gray DRI = %d, want 2", got)
+	}
+	if !bytes.Equal(graySeq, grayShard) {
+		t.Fatal("sharded gray encode differs from sequential")
+	}
+
+	// The 16-bit DRI bound is enforced at the public surface.
+	if _, err := codec.EncodeWith(img, EncodeOptions{RestartInterval: 65536}); err == nil {
+		t.Fatal("RestartInterval 65536 accepted")
+	}
+}
+
+func TestDecodeOptionsShardWorkers(t *testing.T) {
+	images, labels := calibrationSet(t)
+	codec, err := Calibrate(images, labels, CalibrateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := codec.EncodeWith(images[0], EncodeOptions{RestartInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := DecodeInto(nil, stream, DecodeOptions{ShardWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := DecodeInto(nil, stream, DecodeOptions{ShardWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pixelsEqual(t, seq, shard, "sharded-vs-sequential decode")
+}
+
+func TestRequantizeRestartSemantics(t *testing.T) {
+	images, labels := calibrationSet(t)
+	codec, err := Calibrate(images, labels, CalibrateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := codec.EncodeWith(images[0], EncodeOptions{RestartInterval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Default: transcoding preserves the source's restart structure.
+	inherited, err := codec.Requantize(src, RequantizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := driValue(t, inherited); got != 2 {
+		t.Fatalf("inherited DRI = %d, want 2", got)
+	}
+
+	// A positive value replaces the interval, a negative one strips it.
+	replaced, err := codec.Requantize(src, RequantizeOptions{RestartInterval: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := driValue(t, replaced); got != 3 {
+		t.Fatalf("replaced DRI = %d, want 3", got)
+	}
+	stripped, err := codec.Requantize(src, RequantizeOptions{RestartInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := driValue(t, stripped); got != 0 {
+		t.Fatalf("stripped stream carries DRI %d", got)
+	}
+
+	// Out-of-range replacement intervals are rejected.
+	if _, err := codec.Requantize(src, RequantizeOptions{RestartInterval: 65536}); err == nil {
+		t.Fatal("RestartInterval 65536 accepted by Requantize")
+	}
+
+	// Sharded requantize output is byte-identical to sequential.
+	shard, err := codec.Requantize(src, RequantizeOptions{ShardWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inherited, shard) {
+		t.Fatal("sharded requantize differs from sequential")
+	}
+}

@@ -18,5 +18,6 @@ GOARCH=386 go build ./...
 GOARCH=386 go vet ./...
 go test -race ./...
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 5s ./internal/jpegcodec
+go test -run '^$' -fuzz '^FuzzDecodeSharded$' -fuzztime 5s ./internal/jpegcodec
 go test -run '^$' -fuzz '^FuzzRequantize$' -fuzztime 5s ./internal/jpegcodec
 go test -run '^$' -fuzz '^FuzzProfileDecode$' -fuzztime 5s ./internal/profile
