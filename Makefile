@@ -1,11 +1,14 @@
 # Developer entry points for the DeepN-JPEG reproduction.
 #
-#   make check       # gofmt gate + vet + build + race suite + fuzz smoke
-#   make test        # plain test run (what tier-1 verification executes)
-#   make bench       # DCT/codec/pipeline benchmarks with allocation reporting
-#   make bench-json  # full benchmark sweep → BENCH_$(PR).json (perf trajectory)
-#   make serve-bench # requests/sec through the HTTP batch endpoint
-#   make fuzz-smoke  # short native-fuzz run of the decode/requantize/profile fuzzers
+#   make check        # gofmt gate + vet + build + race suite + fuzz smoke
+#   make test         # plain test run (what tier-1 verification executes)
+#   make test-amd64v3 # build+test under GOAMD64=v3 (AVX2-era codegen)
+#   make bench        # DCT/codec/pipeline benchmarks with allocation reporting
+#   make bench-txt    # repeated-count text snapshot → $(NEW) (benchstat input)
+#   make bench-compare# benchstat $(OLD) $(NEW) — old-vs-new regression diff
+#   make bench-json   # full benchmark sweep → BENCH_$(PR).json (perf trajectory)
+#   make serve-bench  # requests/sec through the HTTP batch endpoint
+#   make fuzz-smoke   # short native-fuzz run of the decode/requantize/profile fuzzers
 
 GO ?= go
 GOFMT ?= gofmt
@@ -14,7 +17,7 @@ FUZZTIME ?= 5s
 # PR number when recording a data point, e.g. `make bench-json PR=4`.
 PR ?= dev
 
-.PHONY: check fmt vet build build-386 test race bench bench-json serve-bench fuzz-smoke
+.PHONY: check fmt vet build build-386 test test-amd64v3 race bench bench-txt bench-compare bench-json serve-bench fuzz-smoke
 
 check: fmt vet build build-386 race fuzz-smoke
 
@@ -37,6 +40,16 @@ build-386:
 test:
 	$(GO) test ./...
 
+# GOAMD64=v3 leg: the batch DCT/quantize kernels are flat float64 loops
+# whose lowering changes with the microarchitecture level (v3 unlocks
+# AVX/AVX2-era instruction selection). Building AND running the suite at
+# v3 pins the bit-identity contract — batch vs per-block, fused vs
+# unfused — under the alternate codegen, not just under the default v1.
+# Requires an AVX2-capable host (any x86-64-v3 machine; CI runners are).
+test-amd64v3:
+	GOAMD64=v3 $(GO) build ./...
+	GOAMD64=v3 $(GO) test ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -50,9 +63,35 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzProfileDecode$$' -fuzztime $(FUZZTIME) ./internal/profile
 
 bench:
-	$(GO) test -run XXX -bench 'Transform|ForwardAAN|InverseAAN' -benchmem ./internal/dct
+	$(GO) test -run XXX -bench 'Transform|ForwardAAN|InverseAAN|Batch|PerBlockLoop' -benchmem ./internal/dct
 	$(GO) test -run XXX -bench 'Transform|DecodePooled|EncodeRGB420|DecodeRGB420' -benchmem ./internal/jpegcodec
 	$(GO) test -run XXX -bench 'EncodeBatch|DecodeBatch|CalibrateParallel|DeepNEncodeThroughput' -benchmem ./
+
+# bench-txt records a repeated-count text snapshot of the hot-path
+# benchmarks — the input format benchstat wants. Record one before a
+# change (NEW=bench-old.txt) and one after (the default), then run
+# bench-compare. BENCHCOUNT=10 gives benchstat enough samples to report
+# a confidence interval instead of a point estimate.
+NEW ?= bench-new.txt
+OLD ?= bench-old.txt
+BENCHCOUNT ?= 10
+bench-txt:
+	$(GO) test -run XXX -bench 'Transform|Batch|PerBlockLoop' -benchmem -count $(BENCHCOUNT) ./internal/dct ./internal/jpegcodec > $(NEW)
+	@echo "wrote $(NEW)"
+
+# bench-compare diffs two bench-txt snapshots with benchstat
+# (golang.org/x/perf/cmd/benchstat). The tool is NOT auto-installed —
+# this repo adds no dependencies from the build — so the target checks
+# for it on PATH and explains itself when absent.
+bench-compare:
+	@command -v benchstat >/dev/null 2>&1 || { \
+		echo "bench-compare: benchstat not on PATH."; \
+		echo "  install it once with: go install golang.org/x/perf/cmd/benchstat@latest"; \
+		echo "  then: make bench-txt NEW=bench-old.txt   (on the old commit)"; \
+		echo "        make bench-txt                     (on the new commit)"; \
+		echo "        make bench-compare"; \
+		exit 1; }
+	benchstat $(OLD) $(NEW)
 
 # bench-json records the full benchmark sweep as a machine-readable
 # snapshot (BENCH_$(PR).json) so per-PR performance is diffable across

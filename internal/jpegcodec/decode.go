@@ -166,6 +166,11 @@ type decoder struct {
 	scanBuf   []byte
 	segBounds []int
 	segs      [][]byte
+
+	// plane is the flat block-row scratch for the batched reconstruction
+	// stage, retained across decodes (the parallel path checks extra
+	// planes out of planePool instead).
+	plane []float64
 }
 
 // release drops references to caller-owned memory and returns the
@@ -574,16 +579,15 @@ func (d *decoder) parseSOSAndScan() error {
 }
 
 // scanSequential entropy-decodes the scan MCU by MCU on the calling
-// goroutine. Restart markers must appear in their defined D0..D7 cycle —
-// a stream whose markers are out of sequence has lost or reordered
-// segments, and decoding past the desync would silently produce garbage
-// pixels.
+// goroutine, then reconstructs pixels in batched block rows. Restart
+// markers must appear in their defined D0..D7 cycle — a stream whose
+// markers are out of sequence has lost or reordered segments, and
+// decoding past the desync would silently produce garbage pixels.
 func (d *decoder) scanSequential(mcusX, mcusY int) error {
 	br := d.bits
 	br.Reset(d.br)
 	var prevDC [4]int32 // indexed by component position in comps
-	var tile [64]uint8
-	rst := 0 // expected index of the next restart marker
+	rst := 0            // expected index of the next restart marker
 	total := mcusX * mcusY
 	for mcu := 0; mcu < total; mcu++ {
 		my, mx := mcu/mcusX, mcu%mcusX
@@ -606,15 +610,12 @@ func (d *decoder) scanSequential(mcusX, mcusY int) error {
 			}
 			for vy := 0; vy < c.v; vy++ {
 				for vx := 0; vx < c.h; vx++ {
-					coefs, err := decodeBlock(br, dcTab, acTab, prevDC[ci])
-					if err != nil {
+					bx, by := mx*c.h+vx, my*c.v+vy
+					coefs := &c.coefs[by*c.blocksX+bx]
+					if err := decodeBlockInto(br, dcTab, acTab, prevDC[ci], coefs); err != nil {
 						return err
 					}
 					prevDC[ci] = coefs[0]
-					bx, by := mx*c.h+vx, my*c.v+vy
-					c.coefs[by*c.blocksX+bx] = coefs
-					reconstructBlock(&coefs, &c.inv, &tile, d.xf)
-					imgutil.StoreBlock(c.pix, c.w, c.hgt, bx, by, &tile)
 				}
 			}
 		}
@@ -624,48 +625,64 @@ func (d *decoder) scanSequential(mcusX, mcusY int) error {
 		// DNL or other trailing markers are ignored.
 		_ = m
 	}
+	d.reconstructSequential()
 	return nil
 }
 
-// decodeBlock entropy-decodes one block into natural-order coefficients.
-func decodeBlock(br *bitio.Reader, dcTab, acTab *decTable, prevDC int32) ([64]int32, error) {
-	var coefs [64]int32
+// reconstructSequential runs the batched inverse stage over every
+// component on the calling goroutine, reusing the decoder's retained
+// plane.
+func (d *decoder) reconstructSequential() {
+	for _, c := range d.comps {
+		d.plane = growFloats(d.plane, c.blocksX*64)
+		for by := 0; by < c.blocksY; by++ {
+			reconstructBlockRow(c, by, d.plane, d.xf)
+		}
+	}
+}
+
+// decodeBlockInto entropy-decodes one block into natural-order
+// coefficients, writing straight into the caller's grid slot (which may
+// hold stale pooled data — it is zeroed first). On error the slot's
+// contents are unspecified.
+func decodeBlockInto(br *bitio.Reader, dcTab, acTab *decTable, prevDC int32, coefs *[64]int32) error {
+	*coefs = [64]int32{}
 	s, err := dcTab.decode(br)
 	if err != nil {
-		return coefs, err
+		return err
 	}
 	diff, err := receiveExtend(br, int(s))
 	if err != nil {
-		return coefs, err
+		return err
 	}
 	coefs[0] = prevDC + diff
 	for z := 1; z < 64; {
 		sym, err := acTab.decode(br)
 		if err != nil {
-			return coefs, err
+			return err
 		}
 		run, size := int(sym>>4), int(sym&0x0F)
 		switch {
 		case size == 0 && run == 0: // EOB
-			return coefs, nil
+			return nil
 		case size == 0 && run == 15: // ZRL
 			z += 16
 		case size == 0:
-			return coefs, fmt.Errorf("jpegcodec: invalid AC symbol %#02x", sym)
+			return fmt.Errorf("jpegcodec: invalid AC symbol %#02x", sym)
 		default:
 			z += run
 			if z > 63 {
-				return coefs, errors.New("jpegcodec: AC run overflows block")
+				return errors.New("jpegcodec: AC run overflows block")
 			}
 			v, err := receiveExtend(br, size)
 			if err != nil {
-				return coefs, err
+				return err
 			}
 			coefs[qtable.ZigZagOrder[z]] = v
 			z++
 		}
 	}
-	return coefs, nil
+	return nil
 }
 
 // finish publishes the parsed state into the destination.

@@ -110,7 +110,13 @@ func encode(w io.Writer, width, height int, comps []*component, o *Options, scra
 		fwdLuma, fwdChroma = &fwd[0], &fwd[1]
 	}
 
-	// Forward-transform every block in the MCU-padded grid.
+	// Forward-transform every block in the MCU-padded grid, one whole
+	// block row at a time: fused gather into the flat plane, one batch
+	// transform, one fused quantize pass into the coefficient grid.
+	var plane []float64
+	if scratch != nil {
+		plane = scratch.plane
+	}
 	for ci, c := range comps {
 		tbl := fwdLuma
 		if c.tq == 1 {
@@ -124,13 +130,11 @@ func encode(w io.Writer, width, height int, comps []*component, o *Options, scra
 		} else {
 			c.coefs = make([][64]int32, c.blocksX*c.blocksY)
 		}
-		var tile [64]uint8
-		for by := 0; by < c.blocksY; by++ {
-			for bx := 0; bx < c.blocksX; bx++ {
-				imgutil.ExtractBlock(c.pix, c.w, c.hgt, bx, by, &tile)
-				c.coefs[by*c.blocksX+bx] = blockCoefficients(&tile, tbl, o.ZeroMask, o.Transform)
-			}
-		}
+		plane = growFloats(plane, c.blocksX*64)
+		transformComponent(c, tbl, o.ZeroMask, o.Transform, plane)
+	}
+	if scratch != nil {
+		scratch.plane = plane
 	}
 	return encodeTail(w, width, height, comps, mcusX, mcusY, o)
 }

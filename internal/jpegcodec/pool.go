@@ -31,6 +31,7 @@ type encScratch struct {
 	refs   [3]*component       // backing array for the []*component slice
 	fwd    [2]qtable.FwdScaled // fused forward divisors (luma, chroma) when the caller caches none
 	inv    [2]qtable.InvScaled // fused dequantize multipliers (requantize source tables)
+	plane  []float64           // flat block-row plane for the batch transform stage
 }
 
 var encScratchPool = sync.Pool{New: func() any { return new(encScratch) }}
@@ -65,6 +66,21 @@ func growCoefs(b [][64]int32, n int) [][64]int32 {
 	}
 	return make([][64]int32, n)
 }
+
+// growFloats returns a flat plane of n floats, reusing b's backing
+// array when it is large enough. Contents are unspecified; the batch
+// stages fully overwrite the plane before reading it.
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]float64, n)
+}
+
+// planePool recycles flat block-row planes for the parallel batch
+// reconstruction workers (the sequential paths retain a plane on their
+// scratch/decoder instead).
+var planePool = sync.Pool{New: func() any { return new([]float64) }}
 
 // bufwPool recycles the buffered marker/scan writers.
 var bufwPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 1<<12) }}

@@ -88,16 +88,16 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 		c.blocksX, c.blocksY = bx, by
 		c.coefs = growCoefs(s.coefs[i], len(src))
 		s.coefs[i] = c.coefs
-		for bi := range src {
-			var out [64]int32
-			for n := 0; n < 64; n++ {
-				if o.ZeroMask != nil && o.ZeroMask[n] {
-					continue
-				}
-				real := float64(src[bi][n]) * dequant[n]
-				out[n] = quantize(real, requant[n])
-			}
-			c.coefs[bi] = out
+		// Recode one block row at a time through the batch helpers: one
+		// dequantize broadcast into the flat plane, one fused requantize
+		// pass into the destination grid — the same bits the per-block
+		// dequantize+quantize chain produces.
+		s.plane = growFloats(s.plane, bx*64)
+		for lo := 0; lo < len(src); lo += bx {
+			hi := min(lo+bx, len(src))
+			run := src[lo:hi]
+			dequant.DequantizeBlocks(s.plane, run)
+			quantizeRunInto(c.coefs[lo:hi], s.plane[:len(run)*64], requant, o.ZeroMask)
 		}
 	}
 	comps := s.components(d.Components)

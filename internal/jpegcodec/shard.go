@@ -36,7 +36,6 @@ import (
 	"io"
 
 	"repro/internal/bitio"
-	"repro/internal/imgutil"
 	"repro/internal/pipeline"
 )
 
@@ -271,7 +270,6 @@ func (d *decoder) scanSharded(mcusX, mcusY, workers int) error {
 		br := brs[w]
 		br.ResetBytes(segs[seg])
 		var prevDC [4]int32
-		var tile [64]uint8
 		lo, hi := segmentBounds(seg, ri, total)
 		for mcu := lo; mcu < hi; mcu++ {
 			my, mx := mcu/mcusX, mcu%mcusX
@@ -280,15 +278,12 @@ func (d *decoder) scanSharded(mcusX, mcusY, workers int) error {
 				acTab := d.huff[1<<2|c.ta]
 				for vy := 0; vy < c.v; vy++ {
 					for vx := 0; vx < c.h; vx++ {
-						coefs, err := decodeBlock(br, dcTab, acTab, prevDC[ci])
-						if err != nil {
+						bx, by := mx*c.h+vx, my*c.v+vy
+						coefs := &c.coefs[by*c.blocksX+bx]
+						if err := decodeBlockInto(br, dcTab, acTab, prevDC[ci], coefs); err != nil {
 							return err
 						}
 						prevDC[ci] = coefs[0]
-						bx, by := mx*c.h+vx, my*c.v+vy
-						c.coefs[by*c.blocksX+bx] = coefs
-						reconstructBlock(&coefs, &c.inv, &tile, d.xf)
-						imgutil.StoreBlock(c.pix, c.w, c.hgt, bx, by, &tile)
 					}
 				}
 			}
@@ -301,5 +296,41 @@ func (d *decoder) scanSharded(mcusX, mcusY, workers int) error {
 	if err != nil {
 		return firstShardError(err)
 	}
+	d.reconstructSharded(workers)
 	return nil
+}
+
+// reconstructSharded runs the batched inverse stage with block-row
+// parallelism: rows are disjoint pixel regions over read-only
+// coefficients, so workers share the planes without synchronization.
+// Each worker checks a flat scratch plane out of planePool (the
+// sequential path reuses the decoder's retained plane instead).
+func (d *decoder) reconstructSharded(workers int) {
+	rows := 0
+	var rowStart [3]int
+	for i, c := range d.comps {
+		rowStart[i] = rows
+		rows += c.blocksY
+	}
+	planes := make([]*[]float64, pipeline.Workers(workers, rows))
+	for i := range planes {
+		planes[i] = planePool.Get().(*[]float64)
+	}
+	defer func() {
+		for _, p := range planes {
+			planePool.Put(p)
+		}
+	}()
+	// The callback cannot fail and the context is never canceled.
+	_ = pipeline.RunWorker(context.Background(), rows, workers, func(_ context.Context, w, i int) error {
+		ci := len(d.comps) - 1
+		for ci > 0 && i < rowStart[ci] {
+			ci--
+		}
+		c := d.comps[ci]
+		p := growFloats(*planes[w], c.blocksX*64)
+		*planes[w] = p
+		reconstructBlockRow(c, i-rowStart[ci], p, d.xf)
+		return nil
+	})
 }

@@ -76,3 +76,19 @@ func (t Table) InvScaled(xf dct.Transform) *InvScaled {
 	t.InvScaledInto(dst, xf)
 	return dst
 }
+
+// DequantizeBlocks broadcasts the fused multipliers over a run of
+// quantized blocks, writing len(blocks) consecutive 64-float blocks
+// into dst (dct batch layout). The per-coefficient product is exactly
+// the one the per-block dequantize loop computes — float64(c)·t[i] —
+// so a batch inverse transform over dst is bit-identical to per-block
+// reconstruction.
+func (t *InvScaled) DequantizeBlocks(dst []float64, blocks [][64]int32) {
+	for bi := range blocks {
+		src := &blocks[bi]
+		d := (*[64]float64)(dst[bi*64:])
+		for i := 0; i < 64; i++ {
+			d[i] = float64(src[i]) * t[i]
+		}
+	}
+}

@@ -28,11 +28,41 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// host records the machine shape the numbers were taken on. Bench JSONs
+// are diffed across the repository's history, and a throughput delta is
+// only meaningful between runs on comparable hosts — a 1-CPU CI runner
+// and an 8-core workstation produce legitimately different MB/s for the
+// same code, and GOAMD64 changes which instructions the compiler may
+// emit.
+type host struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOAMD64    string `json:"goamd64,omitempty"` // amd64 only; "v1" when unset
+}
+
 type document struct {
 	GoVersion  string   `json:"go_version"`
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
+	Host       host     `json:"host"`
 	Benchmarks []result `json:"benchmarks"`
+}
+
+// hostInfo captures the current machine. GOAMD64 is read from the
+// environment: the toolchain has no runtime query for it, and the
+// environment variable is how both `go build` and CI select the level.
+func hostInfo() host {
+	h := host{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if runtime.GOARCH == "amd64" {
+		h.GOAMD64 = os.Getenv("GOAMD64")
+		if h.GOAMD64 == "" {
+			h.GOAMD64 = "v1"
+		}
+	}
+	return h
 }
 
 func main() {
@@ -40,6 +70,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		Host:       hostInfo(),
 		Benchmarks: []result{},
 	}
 	sc := bufio.NewScanner(os.Stdin)
