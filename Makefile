@@ -1,6 +1,6 @@
 # Developer entry points for the DeepN-JPEG reproduction.
 #
-#   make check        # gofmt gate + vet + build + race suite + fuzz smoke
+#   make check        # gofmt gate + vet + build + race suite + sampling matrix + fuzz smoke
 #   make test         # plain test run (what tier-1 verification executes)
 #   make test-amd64v3 # build+test under GOAMD64=v3 (AVX2-era codegen)
 #   make bench        # DCT/codec/pipeline benchmarks with allocation reporting
@@ -17,9 +17,9 @@ FUZZTIME ?= 5s
 # PR number when recording a data point, e.g. `make bench-json PR=4`.
 PR ?= dev
 
-.PHONY: check fmt vet build build-386 test test-amd64v3 race bench bench-txt bench-compare bench-json serve-bench fuzz-smoke
+.PHONY: check fmt vet build build-386 test test-amd64v3 race sampling bench bench-txt bench-compare bench-json serve-bench fuzz-smoke
 
-check: fmt vet build build-386 race fuzz-smoke
+check: fmt vet build build-386 race sampling fuzz-smoke
 
 fmt:
 	@out="$$($(GOFMT) -l .)" || exit 1; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -53,6 +53,14 @@ test-amd64v3:
 race:
 	$(GO) test -race ./...
 
+# Chroma-sampling matrix gate: runs the table-driven layout suite
+# (4:4:4/4:2:0/4:2:2/4:4:0/4:1:1) — stdlib-agreeing decodes, byte-stable
+# sharded requantization, metadata passthrough — as its own named leg so
+# a sampling regression is attributable at a glance.
+sampling:
+	$(GO) test -run 'TestSamplingMatrix|TestRGBIntoMatchesStdlibOn422Family|TestSingleComponentFactorsNormalized|TestSOFBaselineBlocksPerMCULimit|Metadata' ./internal/jpegcodec
+	$(GO) test -run 'TestSubsamplingMatrixInterop|TestRequantizeMetadataPassthroughPublic' .
+
 # Native-fuzz smoke leg: a few seconds per target over the checked-in
 # corpus plus fresh mutations — catches decoder panics before CI does a
 # long run. go test only allows one -fuzz pattern per invocation.
@@ -64,7 +72,7 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run XXX -bench 'Transform|ForwardAAN|InverseAAN|Batch|PerBlockLoop' -benchmem ./internal/dct
-	$(GO) test -run XXX -bench 'Transform|DecodePooled|EncodeRGB420|DecodeRGB420' -benchmem ./internal/jpegcodec
+	$(GO) test -run XXX -bench 'Transform|DecodePooled|EncodeRGB420|DecodeRGB420|Decode422|Requantize422' -benchmem ./internal/jpegcodec
 	$(GO) test -run XXX -bench 'EncodeBatch|DecodeBatch|CalibrateParallel|DeepNEncodeThroughput' -benchmem ./
 
 # bench-txt records a repeated-count text snapshot of the hot-path

@@ -4,11 +4,12 @@
 //	                      [-chroma] [-workers N] [-fast-dct]     # calibrate, optionally persist a profile
 //	deepn-jpeg profiles   list|show|verify [-dir profiles/] [-in p.dnp]  # manage persisted profiles
 //	deepn-jpeg encode     -in img.(ppm|pgm|png|jpg) -out out.jpg
-//	                      [-qf 85 | -deepn] [-subsampling 420|444] [-optimize] [-fast-dct]
+//	                      [-qf 85 | -deepn] [-subsampling 420|444|422|440|411] [-optimize] [-fast-dct]
 //	deepn-jpeg encode     -in dir/ -out dir/ [-workers N] ...       # batch-encode a directory
 //	deepn-jpeg decode     -in img.jpg -out out.(ppm|pgm|png) [-fast-dct]
 //	deepn-jpeg decode     -in dir/ -out dir/ [-format png] [-workers N]  # batch-decode a directory
-//	deepn-jpeg requantize -in img.jpg -out out.jpg [-qf 60 | -deepn]     # alias: transcode
+//	deepn-jpeg requantize -in img.jpg -out out.jpg [-qf 60 | -deepn]
+//	                      [-strip-metadata]                       # alias: transcode
 //	deepn-jpeg requantize -in dir/ -out dir/ [-workers N] ...      # batch-requantize a directory
 //	deepn-jpeg inspect    -in img.jpg                               # tables + metadata
 //	deepn-jpeg serve      -addr :8080 [-profile-dir profiles/ -profile name]
@@ -120,6 +121,7 @@ func runRequantize(args []string) error {
 	workers := fs.Int("workers", 0, "worker-pool size for directory requantization (0 = GOMAXPROCS)")
 	restart := fs.Int("restart", 0, "output restart interval: 0 = preserve the source's, -1 = strip, n = set n MCUs")
 	shard := fs.Int("shard", 0, "restart-segment workers within one image: 0 = auto, 1 = off, n = force n")
+	stripMeta := fs.Bool("strip-metadata", false, "drop APPn/COM segments (EXIF, ICC, comments) instead of passing them through")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,7 +131,12 @@ func runRequantize(args []string) error {
 	// Both table choices go through the public requantize API — the same
 	// code path (and pooled decoder scratch) the HTTP server dispatches
 	// to — so the CLI only decides which tables and does the file IO.
-	ropts := deepnjpeg.RequantizeOptions{OptimizeHuffman: *optimize, RestartInterval: *restart, ShardWorkers: *shard}
+	ropts := deepnjpeg.RequantizeOptions{
+		OptimizeHuffman: *optimize,
+		RestartInterval: *restart,
+		ShardWorkers:    *shard,
+		StripMetadata:   *stripMeta,
+	}
 	var requant func(src []byte) ([]byte, error)
 	if *deepn {
 		codec, err := synthNetCodec(deepnjpeg.CalibrateConfig{})
@@ -597,7 +604,7 @@ func runEncode(args []string) error {
 	out := fs.String("out", "", "output JPEG path")
 	qf := fs.Int("qf", 85, "JPEG quality factor (standard tables)")
 	deepn := fs.Bool("deepn", false, "use a DeepN-JPEG table calibrated on SynthNet")
-	sub := fs.String("subsampling", "420", "chroma subsampling: 420 or 444")
+	sub := fs.String("subsampling", "420", "chroma subsampling: 420, 444, 422, 440 or 411")
 	optimize := fs.Bool("optimize", false, "optimized Huffman tables")
 	workers := fs.Int("workers", 0, "worker-pool size for directory encoding (0 = GOMAXPROCS)")
 	fastDCT := fs.Bool("fast-dct", false, "use the AAN fast DCT engine (identical output, faster)")
@@ -614,12 +621,7 @@ func runEncode(args []string) error {
 		opts.Transform = deepnjpeg.TransformAAN
 	}
 	var err error
-	switch *sub {
-	case "420":
-		opts.Subsampling = jpegcodec.Sub420
-	case "444":
-		opts.Subsampling = jpegcodec.Sub444
-	default:
+	if opts.Subsampling, err = jpegcodec.ParseSubsampling(*sub); err != nil {
 		return fmt.Errorf("bad -subsampling %q", *sub)
 	}
 	if *deepn {

@@ -68,7 +68,11 @@
 // the coefficient domain — dequantize with the coded table, requantize
 // with the new one — skipping the IDCT→pixels→DCT round trip and its
 // second generation loss. This is how a storage system retrofits
-// DeepN-JPEG tables onto an archive of already-compressed images.
+// DeepN-JPEG tables onto an archive of already-compressed images. Any
+// legal baseline sampling layout transcodes (4:4:4, 4:2:2, 4:2:0,
+// 4:4:0, 4:1:1, …), and the source's APPn/COM segments — EXIF, ICC
+// profiles, comments — pass through byte-identical unless
+// RequantizeOptions.StripMetadata opts out.
 //
 // # Calibration profiles
 //
@@ -155,6 +159,29 @@ const (
 	// block-transform cost on both the encode and decode path.
 	TransformAAN = dct.TransformAAN
 )
+
+// Subsampling selects the chroma layout of color encodes. The decoder
+// side accepts any legal baseline factor combination regardless of this
+// option.
+type Subsampling = jpegcodec.Subsampling
+
+const (
+	// Sub420 halves chroma both ways (2×2 luma factors), the default.
+	Sub420 = jpegcodec.Sub420
+	// Sub444 keeps chroma at full resolution.
+	Sub444 = jpegcodec.Sub444
+	// Sub422 halves chroma horizontally only.
+	Sub422 = jpegcodec.Sub422
+	// Sub440 halves chroma vertically only.
+	Sub440 = jpegcodec.Sub440
+	// Sub411 quarters chroma horizontally.
+	Sub411 = jpegcodec.Sub411
+)
+
+// ParseSubsampling maps the conventional ratio notation ("444", "422",
+// "420", "440", "411") onto a Subsampling value, as the CLI and server
+// surfaces do.
+func ParseSubsampling(v string) (Subsampling, error) { return jpegcodec.ParseSubsampling(v) }
 
 // NewImage allocates a zeroed color image.
 func NewImage(w, h int) *Image { return imgutil.NewRGB(w, h) }
@@ -261,6 +288,9 @@ type EncodeOptions struct {
 	// OptimizeHuffman derives per-image Huffman tables (two-pass encode),
 	// matching libjpeg's -optimize flag.
 	OptimizeHuffman bool
+	// Subsampling selects the chroma layout (Sub420 by default); ignored
+	// by the grayscale encoders.
+	Subsampling Subsampling
 }
 
 // EncodeWith is Encode with explicit stream-shaping options — restart
@@ -271,6 +301,7 @@ func (c *Codec) EncodeWith(img *Image, opts EncodeOptions) ([]byte, error) {
 	s.Opts.RestartInterval = opts.RestartInterval
 	s.Opts.ShardWorkers = opts.ShardWorkers
 	s.Opts.OptimizeHuffman = opts.OptimizeHuffman
+	s.Opts.Subsampling = opts.Subsampling
 	return s.EncodeRGB(img)
 }
 
@@ -467,6 +498,10 @@ type RequantizeOptions struct {
 	// ShardWorkers controls restart-interval sharded entropy coding of
 	// the output, as in EncodeOptions.ShardWorkers.
 	ShardWorkers int
+	// StripMetadata drops the source stream's APPn/COM segments (EXIF,
+	// ICC profiles, comments) instead of passing them through
+	// byte-identical, which is the default.
+	StripMetadata bool
 }
 
 // Requantize re-targets an existing baseline JPEG stream onto the codec's
@@ -525,6 +560,7 @@ func requantizeInto(dec *jpegcodec.Decoded, src []byte, luma, chroma QuantTable,
 		OptimizeHuffman: opts.OptimizeHuffman,
 		RestartInterval: opts.RestartInterval,
 		ShardWorkers:    opts.ShardWorkers,
+		StripMetadata:   opts.StripMetadata,
 	}
 	if err := jpegcodec.Requantize(&buf, dec, luma, chroma, &jopts); err != nil {
 		return nil, err

@@ -163,20 +163,34 @@ func (p *Planes) ToGray() *Gray {
 // the subsampling JPEG uses for 4:2:0 chroma. Odd dimensions replicate the
 // final row/column.
 func Downsample2x2(pix []uint8, w, h int) (out []uint8, ow, oh int) {
-	return Downsample2x2Into(nil, pix, w, h)
+	return DownsampleInto(nil, pix, w, h, 2, 2)
 }
 
 // Downsample2x2Into is Downsample2x2 writing into dst, reusing its
 // backing array when the capacity suffices.
 func Downsample2x2Into(dst, pix []uint8, w, h int) (out []uint8, ow, oh int) {
-	ow, oh = (w+1)/2, (h+1)/2
+	return DownsampleInto(dst, pix, w, h, 2, 2)
+}
+
+// DownsampleInto reduces a w×h plane by integer factors rx×ry with box
+// averaging (rounding half up), the subsampling JPEG uses for chroma.
+// The output is ceil(w/rx)×ceil(h/ry); boxes that hang past the plane
+// replicate the final row/column, matching the 8×8 block edge-extension
+// policy. dst's backing array is reused when its capacity suffices.
+func DownsampleInto(dst, pix []uint8, w, h, rx, ry int) (out []uint8, ow, oh int) {
+	ow, oh = (w+rx-1)/rx, (h+ry-1)/ry
 	out = GrowBytes(dst, ow*oh)
+	n := rx * ry
 	for y := 0; y < oh; y++ {
 		for x := 0; x < ow; x++ {
-			x0, y0 := 2*x, 2*y
-			x1, y1 := min(x0+1, w-1), min(y0+1, h-1)
-			s := int(pix[y0*w+x0]) + int(pix[y0*w+x1]) + int(pix[y1*w+x0]) + int(pix[y1*w+x1])
-			out[y*ow+x] = uint8((s + 2) / 4)
+			s := 0
+			for dy := 0; dy < ry; dy++ {
+				row := pix[min(y*ry+dy, h-1)*w:]
+				for dx := 0; dx < rx; dx++ {
+					s += int(row[min(x*rx+dx, w-1)])
+				}
+			}
+			out[y*ow+x] = uint8((s + n/2) / n)
 		}
 	}
 	return out, ow, oh
@@ -185,18 +199,37 @@ func Downsample2x2Into(dst, pix []uint8, w, h int) (out []uint8, ow, oh int) {
 // Upsample2x2 expands a plane by 2 in each dimension using sample
 // replication (the baseline JPEG "box" upsampler).
 func Upsample2x2(pix []uint8, w, h, ow, oh int) []uint8 {
-	return Upsample2x2Into(nil, pix, w, h, ow, oh)
+	return UpsampleInto(nil, pix, w, h, ow, oh, 1, 2, 1, 2)
 }
 
 // Upsample2x2Into is Upsample2x2 writing into dst, reusing its backing
 // array when the capacity suffices.
 func Upsample2x2Into(dst, pix []uint8, w, h, ow, oh int) []uint8 {
+	return UpsampleInto(dst, pix, w, h, ow, oh, 1, 2, 1, 2)
+}
+
+// UpsampleInto expands a subsampled w×h plane to ow×oh by nearest-sample
+// replication, the box upsampler baseline JPEG assumes. hs/maxH and
+// vs/maxV are the per-axis sampling ratios — the plane's JPEG sampling
+// factor over the frame maximum — so output pixel (x, y) reads source
+// sample (x*hs/maxH, y*vs/maxV). For integer ratios (4:2:0, 4:2:2,
+// 4:4:0, 4:1:1) that is plain per-axis replication; fractional ratios
+// (legal factor pairs like 2-of-3) floor to the covering sample. Either
+// way the coordinate is clamped to the plane, which covers the
+// ceil-division plane sizes of odd frame dimensions. dst's backing array
+// is reused when its capacity suffices.
+func UpsampleInto(dst, pix []uint8, w, h, ow, oh, hs, maxH, vs, maxV int) []uint8 {
 	out := GrowBytes(dst, ow*oh)
 	for y := 0; y < oh; y++ {
-		sy := min(y/2, h-1)
+		sy := min(y*vs/maxV, h-1)
+		srow := pix[sy*w : sy*w+w]
+		drow := out[y*ow : y*ow+ow]
+		if hs == maxH && w == ow {
+			copy(drow, srow)
+			continue
+		}
 		for x := 0; x < ow; x++ {
-			sx := min(x/2, w-1)
-			out[y*ow+x] = pix[sy*w+sx]
+			drow[x] = srow[min(x*hs/maxH, w-1)]
 		}
 	}
 	return out

@@ -1,10 +1,13 @@
 // Package jpegcodec implements a complete baseline sequential JPEG
 // (ITU-T T.81 / JFIF) encoder and decoder with full control over the
 // quantization tables — the control DeepN-JPEG needs and that high-level
-// libraries hide. It supports grayscale and YCbCr color images, 4:4:4 and
-// 4:2:0 chroma subsampling, standard and per-image optimized Huffman
-// tables, restart intervals, and the coefficient zero-masks used by the
-// paper's RM-HF baseline.
+// libraries hide. It supports grayscale and YCbCr color images, the full
+// baseline chroma-sampling matrix (4:4:4, 4:2:2, 4:2:0, 4:4:0 and 4:1:1
+// on encode; any legal factor combination with full-resolution luma on
+// decode and requantize), standard and per-image optimized Huffman
+// tables, restart intervals, APPn/COM metadata recording and passthrough
+// (EXIF, ICC, JFIF, comments), and the coefficient zero-masks used by
+// the paper's RM-HF baseline.
 package jpegcodec
 
 import (
@@ -41,6 +44,21 @@ const (
 	Sub420 Subsampling = iota
 	// Sub444 keeps chroma at full resolution (1×1 sampling factors).
 	Sub444
+	// Sub422 halves chroma horizontally only (2×1 luma factors), the
+	// layout video-derived JPEGs and many cameras emit.
+	Sub422
+	// Sub440 halves chroma vertically only (1×2 luma factors), 4:2:2
+	// rotated a quarter turn.
+	Sub440
+	// Sub411 quarters chroma horizontally (4×1 luma factors), the DV/
+	// NTSC-heritage layout.
+	Sub411
+	// SubOther marks a decoded stream whose (legal) sampling factors fall
+	// outside the named matrix above — for example non-1×1 chroma
+	// factors. It is a decode-side classification only, not an encode
+	// option; Requantize handles such streams through their recorded
+	// per-component factors.
+	SubOther
 )
 
 func (s Subsampling) String() string {
@@ -49,9 +67,75 @@ func (s Subsampling) String() string {
 		return "4:4:4"
 	case Sub420:
 		return "4:2:0"
+	case Sub422:
+		return "4:2:2"
+	case Sub440:
+		return "4:4:0"
+	case Sub411:
+		return "4:1:1"
+	case SubOther:
+		return "other"
 	default:
 		return "unknown"
 	}
+}
+
+// factors returns the luma sampling factors a Subsampling encodes with
+// (chroma is always 1×1); ok is false for values that are not encode
+// options (SubOther and out-of-range).
+func (s Subsampling) factors() (h, v int, ok bool) {
+	switch s {
+	case Sub444:
+		return 1, 1, true
+	case Sub420:
+		return 2, 2, true
+	case Sub422:
+		return 2, 1, true
+	case Sub440:
+		return 1, 2, true
+	case Sub411:
+		return 4, 1, true
+	}
+	return 0, 0, false
+}
+
+// ParseSubsampling maps the conventional J:a:b digit notation onto a
+// Subsampling value — the parser behind every `-subsampling`/
+// `?subsampling=` surface.
+func ParseSubsampling(v string) (Subsampling, error) {
+	switch v {
+	case "444":
+		return Sub444, nil
+	case "422":
+		return Sub422, nil
+	case "420":
+		return Sub420, nil
+	case "440":
+		return Sub440, nil
+	case "411":
+		return Sub411, nil
+	}
+	return 0, fmt.Errorf("jpegcodec: unknown subsampling %q (want 444, 422, 420, 440 or 411)", v)
+}
+
+// MetaSegment is one APPn or COM marker segment: the marker code and the
+// segment body (without the two length bytes). The decoder records them
+// in stream order on Decoded.Metadata; the encoder re-emits them after
+// SOI via Options.Metadata, preserving the payload bytes exactly.
+type MetaSegment struct {
+	Marker  byte // mAPP0..mAPP0+15 (0xE0–0xEF) or mCOM (0xFE)
+	Payload []byte
+}
+
+// maxSegmentPayload is the largest body a marker segment can carry: the
+// length field is 16-bit and counts itself.
+const maxSegmentPayload = 0xFFFF - 2
+
+// isJFIFAPP0 reports whether a segment is a JFIF APP0 — the segment the
+// encoder otherwise writes itself, and the one metadata passthrough must
+// not duplicate.
+func isJFIFAPP0(seg MetaSegment) bool {
+	return seg.Marker == mAPP0 && len(seg.Payload) >= 5 && string(seg.Payload[:5]) == "JFIF\x00"
 }
 
 // Options configures the encoder. The zero value encodes 4:2:0 color with
@@ -61,8 +145,21 @@ type Options struct {
 	// tables default to the Annex-K references.
 	LumaTable   qtable.Table
 	ChromaTable qtable.Table
-	// Subsampling selects 4:4:4 or 4:2:0 for color input.
+	// Subsampling selects the chroma layout for color input: Sub420
+	// (default), Sub444, Sub422, Sub440 or Sub411.
 	Subsampling Subsampling
+	// Metadata carries APPn/COM segments to emit after SOI, in order.
+	// Requantize fills it with the source stream's recorded segments so
+	// EXIF/ICC/comments survive transcoding byte-identical; encode
+	// callers may attach their own. When none of the segments is a JFIF
+	// APP0 the encoder also writes its canonical one (first, as JFIF
+	// requires); when one is, the canonical segment is suppressed so the
+	// output carries exactly one APP0.
+	Metadata []MetaSegment
+	// StripMetadata opts Requantize out of metadata passthrough: the
+	// output carries only the canonical JFIF APP0, as encode does. It
+	// does not suppress explicitly attached Metadata.
+	StripMetadata bool
 	// OptimizeHuffman derives per-image Huffman tables (two-pass encode),
 	// matching libjpeg's -optimize flag.
 	OptimizeHuffman bool

@@ -21,14 +21,22 @@ type Decoded struct {
 	W, H       int
 	Components int // 1 (grayscale) or 3 (YCbCr)
 
-	// Per-component planes at their coded (possibly subsampled) size.
+	// Per-component planes at their coded (possibly subsampled) size,
+	// together with the component's sampling factors and quantization
+	// table id from the SOF header — RGBInto needs the true factors to
+	// upsample correctly (plane-size ratios are ambiguous for fractional
+	// ceil-division sizes) and Requantize needs tq to find each
+	// component's coded table.
 	planes [3]struct {
-		w, h int
-		pix  []uint8
+		w, h   int
+		hs, vs int // sampling factors (1..4)
+		tq     int // quantization table id
+		pix    []uint8
 	}
-	coefs   [3][][64]int32 // quantized coefficients in block-row order
-	blocksX [3]int
-	blocksY [3]int
+	maxH, maxV int            // frame maximum sampling factors
+	coefs      [3][][64]int32 // quantized coefficients in block-row order
+	blocksX    [3]int
+	blocksY    [3]int
 
 	// upCb, upCr hold upsampled chroma scratch reused by RGBInto.
 	upCb, upCr []uint8
@@ -39,6 +47,13 @@ type Decoded struct {
 	Sampling Subsampling
 	// RestartInterval is the parsed DRI value (0 when absent).
 	RestartInterval int
+
+	// Metadata holds the stream's APPn/COM segments in order of
+	// appearance; Requantize re-emits them by default so EXIF/ICC
+	// profiles and comments survive transcoding. Payload slices alias
+	// metaBuf and stay valid until the next DecodeInto or Reset.
+	Metadata []MetaSegment
+	metaBuf  []byte // flat backing store for Metadata payloads
 }
 
 // Reset clears the decoded content while keeping every allocated buffer
@@ -48,8 +63,13 @@ func (d *Decoded) Reset() {
 	d.W, d.H, d.Components = 0, 0, 0
 	d.Sampling = 0
 	d.RestartInterval = 0
+	d.maxH, d.maxV = 0, 0
+	d.Metadata = d.Metadata[:0]
+	d.metaBuf = d.metaBuf[:0]
 	for i := range d.planes {
 		d.planes[i].w, d.planes[i].h = 0, 0
+		d.planes[i].hs, d.planes[i].vs = 0, 0
+		d.planes[i].tq = 0
 		d.planes[i].pix = d.planes[i].pix[:0]
 		d.coefs[i] = d.coefs[i][:0]
 		d.blocksX[i], d.blocksY[i] = 0, 0
@@ -104,8 +124,13 @@ func (d *Decoded) RGBInto(dst *imgutil.RGB) *imgutil.RGB {
 		p.Cb = d.planes[1].pix
 		p.Cr = d.planes[2].pix
 	} else {
-		d.upCb = imgutil.Upsample2x2Into(d.upCb, d.planes[1].pix, d.planes[1].w, d.planes[1].h, d.W, d.H)
-		d.upCr = imgutil.Upsample2x2Into(d.upCr, d.planes[2].pix, d.planes[2].w, d.planes[2].h, d.W, d.H)
+		// Upsample with the components' true sampling ratios from the SOF
+		// header: for ceil-division plane sizes the ratio cannot be
+		// recovered from plane.w/h alone (e.g. a 9-wide 4:1:1 frame has a
+		// 3-wide chroma plane, and 9/3 ≠ 4).
+		cb, cr := &d.planes[1], &d.planes[2]
+		d.upCb = imgutil.UpsampleInto(d.upCb, cb.pix, cb.w, cb.h, d.W, d.H, cb.hs, d.maxH, cb.vs, d.maxV)
+		d.upCr = imgutil.UpsampleInto(d.upCr, cr.pix, cr.w, cr.h, d.W, d.H, cr.hs, d.maxH, cr.vs, d.maxV)
 		p.Cb = d.upCb
 		p.Cr = d.upCr
 	}
@@ -171,6 +196,19 @@ type decoder struct {
 	// stage, retained across decodes (the parallel path checks extra
 	// planes out of planePool instead).
 	plane []float64
+
+	// metaSpans records APPn/COM segments during the parse as offsets
+	// into dst.metaBuf; finish materializes them into dst.Metadata.
+	// Offsets rather than subslices because metaBuf may reallocate while
+	// segments are still arriving.
+	metaSpans []metaSpan
+}
+
+// metaSpan is one recorded APPn/COM segment: its marker byte and the
+// payload's position inside the Decoded's flat metadata buffer.
+type metaSpan struct {
+	marker     byte
+	start, end int
 }
 
 // release drops references to caller-owned memory and returns the
@@ -189,6 +227,7 @@ func (d *decoder) release() {
 	d.maxPixels = 0
 	d.shard = 0
 	d.segs = d.segs[:0]
+	d.metaSpans = d.metaSpans[:0]
 	decoderPool.Put(d)
 }
 
@@ -284,8 +323,14 @@ func (d *decoder) run() error {
 			return errors.New("jpegcodec: EOI before scan data")
 		case m == mSOI:
 			return errors.New("jpegcodec: unexpected second SOI")
+		case (m >= mAPP0 && m <= mAPP0+0x0F) || m == mCOM:
+			// Record application and comment segments so Requantize can
+			// pass EXIF/ICC/comments through byte-identical.
+			if err := d.recordMetaSegment(m); err != nil {
+				return err
+			}
 		default:
-			// APPn, COM and anything else with a length field: skip.
+			// Anything else with a length field: skip.
 			if err := d.skipSegment(); err != nil {
 				return err
 			}
@@ -342,6 +387,21 @@ func (d *decoder) segmentPayload() ([]byte, error) {
 func (d *decoder) skipSegment() error {
 	_, err := d.segmentPayload()
 	return err
+}
+
+// recordMetaSegment stores one APPn/COM payload in the destination's
+// flat metadata buffer and notes its span for finish to materialize.
+func (d *decoder) recordMetaSegment(m byte) error {
+	p, err := d.segmentPayload()
+	if err != nil {
+		return err
+	}
+	buf := d.dst.metaBuf
+	start := len(buf)
+	buf = append(buf, p...)
+	d.dst.metaBuf = buf
+	d.metaSpans = append(d.metaSpans, metaSpan{marker: m, start: start, end: len(buf)})
+	return nil
 }
 
 func (d *decoder) parseDQT() error {
@@ -473,6 +533,25 @@ func (d *decoder) parseSOF() error {
 			return fmt.Errorf("jpegcodec: bad sampling factors %dx%d", c.h, c.v)
 		}
 		d.compRefs[i] = c
+	}
+	if n == 1 {
+		// A single-component scan is non-interleaved (T.81 A.2): its MCU
+		// is one data unit and the declared sampling factors do not shape
+		// the scan geometry. Normalize them to 1×1 — real files keep e.g.
+		// 2×2 luma factors after grayscale conversion, and honoring them
+		// would pad the plane and misplace blocks (stdlib normalizes too).
+		d.compArr[0].h, d.compArr[0].v = 1, 1
+	} else {
+		// T.81 B.2.2: baseline interleaved MCUs carry at most 10 data
+		// units. Hostile headers past the bound (up to 48 blocks/MCU with
+		// three 4×4 components) are a CPU/memory amplification lever.
+		blocks := 0
+		for i := 0; i < n; i++ {
+			blocks += d.compArr[i].h * d.compArr[i].v
+		}
+		if blocks > 10 {
+			return fmt.Errorf("jpegcodec: %d blocks per MCU exceeds the baseline limit 10", blocks)
+		}
 	}
 	d.comps = d.compRefs[:n]
 	return nil
@@ -692,20 +771,54 @@ func (d *decoder) finish() error {
 	out.H = d.h
 	out.Components = len(d.comps)
 	out.RestartInterval = d.ri
+	maxH, maxV := 1, 1
+	for _, c := range d.comps {
+		maxH = max(maxH, c.h)
+		maxV = max(maxV, c.v)
+	}
+	out.maxH, out.maxV = maxH, maxV
 	if len(d.comps) == 3 {
-		if d.comps[0].h == 2 && d.comps[0].v == 2 {
-			out.Sampling = Sub420
-		} else {
-			out.Sampling = Sub444
-		}
+		out.Sampling = classifySampling(d.comps)
 	}
 	for i, c := range d.comps {
 		out.planes[i].w = c.w
 		out.planes[i].h = c.hgt
+		out.planes[i].hs = c.h
+		out.planes[i].vs = c.v
+		out.planes[i].tq = c.tq
 		out.planes[i].pix = c.pix
 		out.coefs[i] = c.coefs
 		out.blocksX[i] = c.blocksX
 		out.blocksY[i] = c.blocksY
 	}
+	for _, s := range d.metaSpans {
+		out.Metadata = append(out.Metadata, MetaSegment{
+			Marker:  s.marker,
+			Payload: out.metaBuf[s.start:s.end:s.end],
+		})
+	}
 	return nil
+}
+
+// classifySampling maps a 3-component frame's sampling factors onto the
+// named chroma layouts. Anything outside the common matrix — including
+// layouts where the chroma components disagree — reports SubOther;
+// decode and requantize handle those too, the label is informational.
+func classifySampling(comps []*component) Subsampling {
+	if comps[1].h != 1 || comps[1].v != 1 || comps[2].h != 1 || comps[2].v != 1 {
+		return SubOther
+	}
+	switch [2]int{comps[0].h, comps[0].v} {
+	case [2]int{1, 1}:
+		return Sub444
+	case [2]int{2, 2}:
+		return Sub420
+	case [2]int{2, 1}:
+		return Sub422
+	case [2]int{1, 2}:
+		return Sub440
+	case [2]int{4, 1}:
+		return Sub411
+	}
+	return SubOther
 }

@@ -34,21 +34,23 @@ func EncodeRGB(w io.Writer, img *imgutil.RGB, opts *Options) error {
 	s := getEncScratch()
 	defer putEncScratch(s)
 	s.planes.FromRGB(img)
-	switch o.Subsampling {
-	case Sub444:
-		s.comps[0] = component{id: 1, h: 1, v: 1, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: s.planes.Y}
-		s.comps[1] = component{id: 2, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: img.W, hgt: img.H, pix: s.planes.Cb}
-		s.comps[2] = component{id: 3, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: img.W, hgt: img.H, pix: s.planes.Cr}
-	case Sub420:
-		var cw, ch int
-		s.cb, cw, ch = imgutil.Downsample2x2Into(s.cb, s.planes.Cb, img.W, img.H)
-		s.cr, _, _ = imgutil.Downsample2x2Into(s.cr, s.planes.Cr, img.W, img.H)
-		s.comps[0] = component{id: 1, h: 2, v: 2, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: s.planes.Y}
-		s.comps[1] = component{id: 2, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: s.cb}
-		s.comps[2] = component{id: 3, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: s.cr}
-	default:
-		return fmt.Errorf("jpegcodec: unknown subsampling %d", o.Subsampling)
+	// The luma sampling factors double as the chroma box-downsample
+	// ratios: 4:2:0 → 2×2 luma and 2×2 chroma reduction, 4:2:2 → 2×1,
+	// 4:4:0 → 1×2, 4:1:1 → 4×1, 4:4:4 → no reduction.
+	h, v, ok := o.Subsampling.factors()
+	if !ok {
+		return fmt.Errorf("jpegcodec: subsampling %v is not an encode option", o.Subsampling)
 	}
+	s.comps[0] = component{id: 1, h: h, v: v, tq: 0, td: 0, ta: 0, w: img.W, hgt: img.H, pix: s.planes.Y}
+	cw, ch := img.W, img.H
+	cb, cr := s.planes.Cb, s.planes.Cr
+	if h > 1 || v > 1 {
+		s.cb, cw, ch = imgutil.DownsampleInto(s.cb, s.planes.Cb, img.W, img.H, h, v)
+		s.cr, _, _ = imgutil.DownsampleInto(s.cr, s.planes.Cr, img.W, img.H, h, v)
+		cb, cr = s.cb, s.cr
+	}
+	s.comps[1] = component{id: 2, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: cb}
+	s.comps[2] = component{id: 3, h: 1, v: 1, tq: 1, td: 1, ta: 1, w: cw, hgt: ch, pix: cr}
 	return encode(w, img.W, img.H, s.components(3), &o, s)
 }
 
@@ -402,10 +404,33 @@ func writeMarkers(w *bufio.Writer, width, height int, comps []*component, specs 
 	if err := writeMarker(w, mSOI); err != nil {
 		return err
 	}
-	// APP0 JFIF v1.1, 1:1 aspect, no thumbnail.
-	app0 := []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0}
-	if err := writeSegment(w, mAPP0, app0); err != nil {
-		return err
+	// APP0 JFIF v1.1, 1:1 aspect, no thumbnail — suppressed when the
+	// caller's metadata already carries a JFIF APP0 (the requantize
+	// passthrough case), so the output holds exactly one.
+	hasJFIF := false
+	for _, seg := range o.Metadata {
+		if isJFIFAPP0(seg) {
+			hasJFIF = true
+			break
+		}
+	}
+	if !hasJFIF {
+		app0 := []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0}
+		if err := writeSegment(w, mAPP0, app0); err != nil {
+			return err
+		}
+	}
+	for _, seg := range o.Metadata {
+		if (seg.Marker < mAPP0 || seg.Marker > mAPP0+0x0F) && seg.Marker != mCOM {
+			return fmt.Errorf("jpegcodec: metadata marker %#02x is not APPn or COM", seg.Marker)
+		}
+		if len(seg.Payload) > maxSegmentPayload {
+			return fmt.Errorf("jpegcodec: metadata segment %#02x payload %d exceeds %d bytes",
+				seg.Marker, len(seg.Payload), maxSegmentPayload)
+		}
+		if err := writeSegment(w, seg.Marker, seg.Payload); err != nil {
+			return err
+		}
 	}
 	// DQT: luma always; chroma only for color images.
 	if err := writeDQT(w, 0, o.LumaTable); err != nil {

@@ -17,14 +17,20 @@ import (
 //
 // The optional mask zeroes bands before recoding (the RM-HF transform).
 // Huffman optimization is honored via opts; subsampling always matches
-// the source stream. The restart interval is preserved by default — a
-// zero opts.RestartInterval inherits d.RestartInterval, so transcoding
+// the source stream — any legal baseline factor combination with
+// full-resolution luma (4:4:4, 4:2:2, 4:2:0, 4:4:0, 4:1:1, …) recodes
+// through the same per-component h×v block walk the decoder used. The
+// restart interval is preserved by default — a zero
+// opts.RestartInterval inherits d.RestartInterval, so transcoding
 // keeps the stream's RSTn structure (and with it the sharded-decode
 // lever); a negative value strips restart markers and a positive one
-// replaces the interval. Because no pixels are touched, the output is
-// independent of Options.Transform — the engine choice only matters on
-// paths that run a DCT — but the option is still validated so a bad
-// configuration fails here exactly as it would on encode.
+// replaces the interval. The source's APPn/COM segments (EXIF, ICC,
+// comments) are re-emitted in order unless opts.StripMetadata is set or
+// opts.Metadata supplies replacements. Because no pixels are touched,
+// the output is independent of Options.Transform — the engine choice
+// only matters on paths that run a DCT — but the option is still
+// validated so a bad configuration fails here exactly as it would on
+// encode.
 func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Options) error {
 	if err := luma.Validate(); err != nil {
 		return fmt.Errorf("jpegcodec: requantize luma: %w", err)
@@ -51,6 +57,13 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 	}
 	o.LumaTable = luma
 	o.ChromaTable = chroma
+	if o.StripMetadata {
+		o.Metadata = nil
+	} else if o.Metadata == nil {
+		// Default passthrough: re-emit the source stream's APPn/COM
+		// segments byte-identical, in their original order.
+		o.Metadata = d.Metadata
+	}
 
 	// Rebuild encoder components from the decoded coefficient planes,
 	// drawing descriptors and coefficient grids from the pooled encoder
@@ -62,20 +75,25 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 	s := getEncScratch()
 	defer putEncScratch(s)
 	for i := 0; i < d.Components; i++ {
-		oldTbl, ok := d.QuantTables[0]
 		newTbl := &luma
 		s.comps[i] = component{id: uint8(i + 1), h: 1, v: 1, tq: 0, td: 0, ta: 0}
 		c := &s.comps[i]
 		if i > 0 {
-			oldTbl, ok = d.QuantTables[1]
 			newTbl = &chroma
 			c.tq, c.td, c.ta = 1, 1, 1
 		}
+		// The source table is whichever the component was coded with (its
+		// SOF tq, any id 0–3), not necessarily the 0=luma/1=chroma
+		// convention this encoder writes.
+		oldTbl, ok := d.QuantTables[d.planes[i].tq]
 		if !ok {
-			return fmt.Errorf("jpegcodec: source stream lacks quantization table %d", c.tq)
+			return fmt.Errorf("jpegcodec: source stream lacks quantization table %d", d.planes[i].tq)
 		}
-		if i == 0 && d.Components == 3 && d.Sampling == Sub420 {
-			c.h, c.v = 2, 2
+		// Carry the source sampling factors so the MCU interleave below
+		// reproduces the decoder's per-component h×v block walk. Zero
+		// factors (a hand-built Decoded) mean an unsubsampled plane.
+		if d.planes[i].hs > 0 {
+			c.h, c.v = d.planes[i].hs, d.planes[i].vs
 		}
 		src, bx, by := d.Coefficients(i)
 		if len(src) == 0 {
@@ -104,10 +122,10 @@ func Requantize(w io.Writer, d *Decoded, luma, chroma qtable.Table, opts *Option
 
 	mcusX := comps[0].blocksX / comps[0].h
 	mcusY := comps[0].blocksY / comps[0].v
-	// The re-encoder only models 4:4:4, 4:2:0 and single-component
-	// layouts. A stream with other sampling factors (4:2:2, 4:1:1, …)
-	// decodes fine but its block grids would not tile the MCU geometry
-	// assumed above — reject it rather than index out of its grids.
+	// The decoder sizes every block grid as mcus×factor and guarantees
+	// component 0 carries the frame-maximum factors, so these grids tile
+	// by construction; the check defends against a hand-built Decoded
+	// whose grids would otherwise index out of bounds in encodeTail.
 	for i, c := range comps {
 		if c.blocksX != mcusX*c.h || c.blocksY != mcusY*c.v {
 			return fmt.Errorf("jpegcodec: requantize: unsupported sampling geometry (component %d grid %d×%d does not tile %d×%d MCUs)",

@@ -17,7 +17,8 @@
 //	GET  /metrics        expvar-style JSON counters
 //
 // Request options travel as query parameters (?quality=, ?transform=,
-// ?subsampling=, ?optimize=, ?format=); errors come back as structured
+// ?subsampling=, ?optimize=, ?format=, ?strip_metadata=); errors come
+// back as structured
 // JSON ({"error":{"code","message"},"status"}). Authentication is a
 // static API-key table (X-API-Key or Authorization: Bearer); a server
 // constructed without keys runs open with a single anonymous tenant.
@@ -671,14 +672,11 @@ func (s *Server) encodeOptions(fw *core.Framework, q url.Values) (jpegcodec.Opti
 	if opts.Transform, err = parseTransform(q, opts.Transform); err != nil {
 		return opts, err
 	}
-	switch v := q.Get("subsampling"); v {
-	case "", "420":
+	if v := q.Get("subsampling"); v == "" {
 		opts.Subsampling = jpegcodec.Sub420
-	case "444":
-		opts.Subsampling = jpegcodec.Sub444
-	default:
+	} else if opts.Subsampling, err = jpegcodec.ParseSubsampling(v); err != nil {
 		return opts, errf(http.StatusBadRequest, "bad_subsampling",
-			"subsampling=%q is not one of 420, 444", v)
+			"subsampling=%q is not one of 420, 444, 422, 440, 411", v)
 	}
 	if opts.OptimizeHuffman, err = parseBoolParam(q, "optimize", false); err != nil {
 		return opts, err
@@ -961,6 +959,10 @@ func (s *Server) handleRequantize(w http.ResponseWriter, r *http.Request, t *ten
 	if err != nil {
 		return err
 	}
+	stripMeta, err := parseBoolParam(q, "strip_metadata", false)
+	if err != nil {
+		return err
+	}
 	body, err := s.readBody(r, t)
 	if err != nil {
 		return err
@@ -974,7 +976,7 @@ func (s *Server) handleRequantize(w http.ResponseWriter, r *http.Request, t *ten
 	buf := s.bufPool.Get().(*bytes.Buffer)
 	defer func() { buf.Reset(); s.bufPool.Put(buf) }()
 	buf.Reset()
-	jopts := jpegcodec.Options{OptimizeHuffman: optimize, RestartInterval: restart}
+	jopts := jpegcodec.Options{OptimizeHuffman: optimize, RestartInterval: restart, StripMetadata: stripMeta}
 	if err := jpegcodec.Requantize(buf, dec, luma, chroma, &jopts); err != nil {
 		return err
 	}
@@ -1062,8 +1064,12 @@ func (s *Server) batchOpFor(fw *core.Framework, q url.Values) (*batchOp, error) 
 		if err != nil {
 			return nil, err
 		}
+		stripMeta, err := parseBoolParam(q, "strip_metadata", false)
+		if err != nil {
+			return nil, err
+		}
 		dopts := jpegcodec.DecodeOptions{MaxPixels: s.opts.MaxPixels}
-		jopts := jpegcodec.Options{OptimizeHuffman: optimize, RestartInterval: restart}
+		jopts := jpegcodec.Options{OptimizeHuffman: optimize, RestartInterval: restart, StripMetadata: stripMeta}
 		return &batchOp{contentType: "image/jpeg", run: func(sc *batchScratch, item []byte) ([]byte, error) {
 			sc.rd.Reset(item)
 			if err := jpegcodec.DecodeInto(&sc.rd, sc.dec, &dopts); err != nil {

@@ -603,7 +603,7 @@ func TestErrorPaths(t *testing.T) {
 		wantJSONError(t, resp, body, http.StatusBadRequest, "bad_transform")
 	})
 	t.Run("bad-subsampling", func(t *testing.T) {
-		resp, body := post(t, ts.URL+"/v1/encode?subsampling=422", "", small, nil)
+		resp, body := post(t, ts.URL+"/v1/encode?subsampling=421", "", small, nil)
 		wantJSONError(t, resp, body, http.StatusBadRequest, "bad_subsampling")
 	})
 	t.Run("bad-restart", func(t *testing.T) {

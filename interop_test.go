@@ -86,6 +86,51 @@ func TestStdlibDecodesEveryEncodePath(t *testing.T) {
 	}
 }
 
+// TestSubsamplingMatrixInterop drives the full chroma matrix through
+// the public encode API: every layout must emit plain baseline JFIF
+// that stdlib decodes at the right geometry, and the two decoders must
+// agree closely on the same stream — the property the 4:2:2-family
+// upsampling bug silently broke.
+func TestSubsamplingMatrixInterop(t *testing.T) {
+	images, labels := calibrationSet(t)
+	codec, err := Calibrate(images, labels, CalibrateConfig{Chroma: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := images[0]
+	for _, sub := range []Subsampling{Sub444, Sub420, Sub422, Sub440, Sub411} {
+		t.Run(sub.String(), func(t *testing.T) {
+			data, err := codec.EncodeWith(src, EncodeOptions{Subsampling: sub})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stdImg, err := jpeg.Decode(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("stdlib cannot decode the %v stream: %v", sub, err)
+			}
+			if stdImg.Bounds().Dx() != src.W || stdImg.Bounds().Dy() != src.H {
+				t.Fatalf("stdlib decoded %dx%d, want %dx%d",
+					stdImg.Bounds().Dx(), stdImg.Bounds().Dy(), src.W, src.H)
+			}
+			ours, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := psnrOrDie(t, ours, stdlibToRGB(t, stdImg)); got < 30 {
+				t.Fatalf("our decoder and stdlib disagree on the %v stream: %.1f dB", sub, got)
+			}
+			// The layout must survive coefficient-domain requantization.
+			requant, err := codec.Requantize(data, RequantizeOptions{})
+			if err != nil {
+				t.Fatalf("requantize of the %v stream: %v", sub, err)
+			}
+			if _, err := jpeg.Decode(bytes.NewReader(requant)); err != nil {
+				t.Fatalf("stdlib rejects the requantized %v stream: %v", sub, err)
+			}
+		})
+	}
+}
+
 func TestStdlibDecodesGrayStream(t *testing.T) {
 	images, labels := calibrationSet(t)
 	codec, err := Calibrate(images, labels, CalibrateConfig{})

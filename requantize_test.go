@@ -29,6 +29,52 @@ func requantizeFixture(t *testing.T) (*Codec, []*Image, [][]byte) {
 	return codec, images, streams
 }
 
+// spliceAPP1 inserts an EXIF-style APP1 segment right after a stream's
+// SOI marker, the way cameras write it.
+func spliceAPP1(t *testing.T, stream, payload []byte) []byte {
+	t.Helper()
+	if len(stream) < 2 || stream[0] != 0xFF || stream[1] != 0xD8 {
+		t.Fatal("stream does not start with SOI")
+	}
+	n := len(payload) + 2
+	seg := append([]byte{0xFF, 0xE1, byte(n >> 8), byte(n)}, payload...)
+	out := append([]byte{}, stream[:2]...)
+	out = append(out, seg...)
+	return append(out, stream[2:]...)
+}
+
+// TestRequantizeMetadataPassthroughPublic pins the public-API contract:
+// an EXIF segment spliced into the source survives Requantize
+// byte-identical by default and disappears under StripMetadata, with
+// stdlib accepting the stream either way.
+func TestRequantizeMetadataPassthroughPublic(t *testing.T) {
+	codec, _, streams := requantizeFixture(t)
+	exif := []byte("Exif\x00\x00MM\x00\x2a\x00\x00\x00\x08public-api")
+	src := spliceAPP1(t, streams[0], exif)
+
+	out, err := codec.Requantize(src, RequantizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, exif) {
+		t.Fatal("EXIF payload lost through default requantize")
+	}
+	if _, err := jpeg.Decode(bytes.NewReader(out)); err != nil {
+		t.Fatalf("stdlib rejects the metadata-carrying requantized stream: %v", err)
+	}
+
+	stripped, err := codec.Requantize(src, RequantizeOptions{StripMetadata: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(stripped, exif) {
+		t.Fatal("StripMetadata left the EXIF payload in the output")
+	}
+	if _, err := jpeg.Decode(bytes.NewReader(stripped)); err != nil {
+		t.Fatalf("stdlib rejects the stripped requantized stream: %v", err)
+	}
+}
+
 func TestRequantizeRoundTrips(t *testing.T) {
 	codec, images, streams := requantizeFixture(t)
 	for i, src := range streams[:4] {
