@@ -17,9 +17,9 @@ FUZZTIME ?= 5s
 # PR number when recording a data point, e.g. `make bench-json PR=4`.
 PR ?= dev
 
-.PHONY: check fmt vet build build-386 test test-amd64v3 race sampling bench bench-txt bench-compare bench-json serve-bench fuzz-smoke
+.PHONY: check fmt vet build build-386 test test-amd64v3 race sampling hub bench bench-txt bench-compare bench-json serve-bench fuzz-smoke
 
-check: fmt vet build build-386 race sampling fuzz-smoke
+check: fmt vet build build-386 race sampling hub fuzz-smoke
 
 fmt:
 	@out="$$($(GOFMT) -l .)" || exit 1; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -61,6 +61,17 @@ sampling:
 	$(GO) test -run 'TestSamplingMatrix|TestRGBIntoMatchesStdlibOn422Family|TestSingleComponentFactorsNormalized|TestSOFBaselineBlocksPerMCULimit|Metadata' ./internal/jpegcodec
 	$(GO) test -run 'TestSubsamplingMatrixInterop|TestRequantizeMetadataPassthroughPublic' .
 
+# Profile-hub gate: the whole distribution loop as its own named leg —
+# origin wire protocol, client fault injection (truncation, corruption,
+# retries, origin-down fallback, trust-key rejection), registry lazy
+# fetch/sync, and the two-server fleet scenario — so a hub regression is
+# attributable at a glance. The packages also run inside `race`; this
+# leg exists for fast, named feedback.
+hub:
+	$(GO) test ./internal/profilehub
+	$(GO) test -run 'TestRegistryLazyFetch|TestSyncSource|TestWatchSyncs|TestLazyFetchSingleFlight|TestSignature|TestReadSignature|TestGC|TestCompare|TestWriteFileAtomic|TestReadChecksum' ./internal/profile
+	$(GO) test -run 'TestFleet|TestServerHub' ./internal/server
+
 # Native-fuzz smoke leg: a few seconds per target over the checked-in
 # corpus plus fresh mutations — catches decoder panics before CI does a
 # long run. go test only allows one -fuzz pattern per invocation.
@@ -69,11 +80,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSharded$$' -fuzztime $(FUZZTIME) ./internal/jpegcodec
 	$(GO) test -run '^$$' -fuzz '^FuzzRequantize$$' -fuzztime $(FUZZTIME) ./internal/jpegcodec
 	$(GO) test -run '^$$' -fuzz '^FuzzProfileDecode$$' -fuzztime $(FUZZTIME) ./internal/profile
+	$(GO) test -run '^$$' -fuzz '^FuzzParseIndex$$' -fuzztime $(FUZZTIME) ./internal/profilehub
 
 bench:
 	$(GO) test -run XXX -bench 'Transform|ForwardAAN|InverseAAN|Batch|PerBlockLoop' -benchmem ./internal/dct
 	$(GO) test -run XXX -bench 'Transform|DecodePooled|EncodeRGB420|DecodeRGB420|Decode422|Requantize422' -benchmem ./internal/jpegcodec
 	$(GO) test -run XXX -bench 'EncodeBatch|DecodeBatch|CalibrateParallel|DeepNEncodeThroughput' -benchmem ./
+	$(GO) test -run XXX -bench 'Index|BlobVerify|PullCacheHit' -benchmem ./internal/profilehub
 
 # bench-txt records a repeated-count text snapshot of the hot-path
 # benchmarks — the input format benchstat wants. Record one before a

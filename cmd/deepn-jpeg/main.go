@@ -3,6 +3,11 @@
 //	deepn-jpeg calibrate  [-in imgdir/] [-out p.dnp -name imagenet -pversion 1]
 //	                      [-chroma] [-workers N] [-fast-dct]     # calibrate, optionally persist a profile
 //	deepn-jpeg profiles   list|show|verify [-dir profiles/] [-in p.dnp]  # manage persisted profiles
+//	deepn-jpeg profiles   push|pull|sign [-origin URL] [-key k|-pub k.pub]  # hub lifecycle
+//	deepn-jpeg profiles   diff a.dnp b.dnp                          # compare calibrations (exit 1 on difference)
+//	deepn-jpeg profiles   gc -dir profiles/ [-max-bytes N] [-max-versions N] [-dry-run]
+//	deepn-jpeg hub        serve -dir profiles/ [-addr :9701] [-key k] [-push-key s]
+//	deepn-jpeg hub        keygen [-out hub-signing.key]             # Ed25519 signing key pair
 //	deepn-jpeg encode     -in img.(ppm|pgm|png|jpg) -out out.jpg
 //	                      [-qf 85 | -deepn] [-subsampling 420|444|422|440|411] [-optimize] [-fast-dct]
 //	deepn-jpeg encode     -in dir/ -out dir/ [-workers N] ...       # batch-encode a directory
@@ -13,6 +18,7 @@
 //	deepn-jpeg requantize -in dir/ -out dir/ [-workers N] ...      # batch-requantize a directory
 //	deepn-jpeg inspect    -in img.jpg                               # tables + metadata
 //	deepn-jpeg serve      -addr :8080 [-profile-dir profiles/ -profile name]
+//	                      [-hub-origin URL -hub-pub k.pub]          # pull profiles from a hub
 //	                      [-api-keys k1:4,k2] [-workers N]         # HTTP codec service
 //
 // calibrate runs the DeepN-JPEG design flow on an image directory (-in;
@@ -66,6 +72,7 @@ import (
 	"repro/internal/jpegcodec"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
+	"repro/internal/profilehub"
 	"repro/internal/qtable"
 )
 
@@ -88,6 +95,8 @@ func main() {
 		err = runInspect(os.Args[2:])
 	case "profiles":
 		err = runProfiles(os.Args[2:])
+	case "hub":
+		err = runHub(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -103,7 +112,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: deepn-jpeg <calibrate|profiles|encode|decode|requantize|inspect|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: deepn-jpeg <calibrate|profiles|hub|encode|decode|requantize|inspect|serve> [flags]")
 }
 
 // runRequantize re-targets existing JPEGs in the coefficient domain — no
@@ -425,6 +434,20 @@ func runProfiles(args []string) error {
 		return fmt.Errorf("usage: deepn-jpeg profiles <list|show|verify> [flags]")
 	}
 	sub, rest := args[0], args[1:]
+	// The hub-facing lifecycle verbs live in hub.go with their own flag
+	// sets.
+	switch sub {
+	case "push":
+		return runProfilesPush(rest)
+	case "pull":
+		return runProfilesPull(rest)
+	case "sign":
+		return runProfilesSign(rest)
+	case "diff":
+		return runProfilesDiff(rest)
+	case "gc":
+		return runProfilesGC(rest)
+	}
 	fs := flag.NewFlagSet("profiles "+sub, flag.ExitOnError)
 	dir := fs.String("dir", "", "profile directory")
 	in := fs.String("in", "", "single profile file")
@@ -522,7 +545,7 @@ func runProfiles(args []string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown profiles subcommand %q (want list, show or verify)", sub)
+		return fmt.Errorf("unknown profiles subcommand %q (want list, show, verify, push, pull, sign, diff or gc)", sub)
 	}
 }
 
@@ -886,6 +909,9 @@ func runServe(args []string) error {
 	profileRef := fs.String("profile", "", "default profile (name or name@version) from -profile-dir; skips startup calibration")
 	profileWatch := fs.Duration("profile-watch", 0, "poll -profile-dir at this interval and hot-reload changes (0 = off)")
 	adminKey := fs.String("admin-key", "", "API key required by /admin endpoints (empty = any tenant)")
+	hubOrigin := fs.String("hub-origin", "", "profile hub origin URL; missing profiles (including -profile at boot) pull from it")
+	hubCache := fs.String("hub-cache", "", "hub client cache directory (default: <profile-dir>/.hub-cache)")
+	hubPub := fs.String("hub-pub", "", "trusted Ed25519 public key file; require signed hub indexes and profiles")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -896,6 +922,16 @@ func runServe(args []string) error {
 	}
 	if *profileRef != "" && *profileDir == "" {
 		return fmt.Errorf("-profile requires -profile-dir")
+	}
+	if *hubOrigin != "" {
+		if *profileDir == "" {
+			return fmt.Errorf("-hub-origin requires -profile-dir")
+		}
+		// A hub-backed fleet node may legitimately start with nothing
+		// local at all — the directory only has to exist.
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			return err
+		}
 	}
 	opts := deepnjpeg.ServerOptions{
 		MaxBodyBytes:   *maxBody,
@@ -908,6 +944,13 @@ func runServe(args []string) error {
 		DefaultProfile: *profileRef,
 		ProfileWatch:   *profileWatch,
 		AdminKey:       *adminKey,
+		HubOrigin:      *hubOrigin,
+		HubCacheDir:    *hubCache,
+	}
+	if *hubPub != "" {
+		if opts.HubTrustedKey, err = profilehub.ReadPublicKeyFile(*hubPub); err != nil {
+			return err
+		}
 	}
 	var codec *deepnjpeg.Codec
 	startLoad := time.Now()

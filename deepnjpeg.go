@@ -117,6 +117,7 @@ package deepnjpeg
 import (
 	"bytes"
 	"context"
+	"crypto/ed25519"
 	"fmt"
 	"net"
 	"net/http"
@@ -689,6 +690,20 @@ type ServerOptions struct {
 	// administrative actions. Empty leaves admin endpoints behind the
 	// normal tenant gate only.
 	AdminKey string
+	// HubOrigin, when set, attaches a profile-hub client to the profile
+	// registry: references that miss locally (including DefaultProfile at
+	// boot) are pulled from this origin, verified, and materialized into
+	// ProfileDir; each ProfileWatch tick syncs newly published profiles.
+	// Requires ProfileDir.
+	HubOrigin string
+	// HubCacheDir is the hub client's local content-addressed cache
+	// (default: <ProfileDir>/.hub-cache).
+	HubCacheDir string
+	// HubTrustedKey, when set, requires the hub index and every pulled
+	// profile to verify against this Ed25519 public key.
+	HubTrustedKey ed25519.PublicKey
+	// HubFetchTimeout bounds one lazy hub fetch (default 30s).
+	HubFetchTimeout time.Duration
 }
 
 // Server is the HTTP front end of a calibrated Codec: POST /v1/encode,
@@ -713,17 +728,21 @@ func NewServer(c *Codec, opts ServerOptions) (*Server, error) {
 		fw = c.fw
 	}
 	s, err := server.New(server.Options{
-		Framework:      fw,
-		MaxBodyBytes:   opts.MaxBodyBytes,
-		MaxPixels:      opts.MaxPixels,
-		BatchWorkers:   opts.BatchWorkers,
-		MaxBatchItems:  opts.MaxBatchItems,
-		Tenants:        opts.Tenants,
-		MaxInFlight:    opts.MaxInFlight,
-		ProfileDir:     opts.ProfileDir,
-		DefaultProfile: opts.DefaultProfile,
-		ProfileWatch:   opts.ProfileWatch,
-		AdminKey:       opts.AdminKey,
+		Framework:       fw,
+		MaxBodyBytes:    opts.MaxBodyBytes,
+		MaxPixels:       opts.MaxPixels,
+		BatchWorkers:    opts.BatchWorkers,
+		MaxBatchItems:   opts.MaxBatchItems,
+		Tenants:         opts.Tenants,
+		MaxInFlight:     opts.MaxInFlight,
+		ProfileDir:      opts.ProfileDir,
+		DefaultProfile:  opts.DefaultProfile,
+		ProfileWatch:    opts.ProfileWatch,
+		AdminKey:        opts.AdminKey,
+		HubOrigin:       opts.HubOrigin,
+		HubCacheDir:     opts.HubCacheDir,
+		HubTrustedKey:   opts.HubTrustedKey,
+		HubFetchTimeout: opts.HubFetchTimeout,
 	})
 	if err != nil {
 		return nil, err

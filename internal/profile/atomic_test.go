@@ -1,0 +1,73 @@
+package profile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.dnp")
+	if err := WriteFileAtomic(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o644 {
+		t.Fatalf("published mode %v, want 0644", st.Mode().Perm())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp debris left behind: %v", entries)
+	}
+	// Overwrite goes through the same temp+rename path.
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("overwrite read back %q", got)
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "out.dnp")
+	if err := WriteFileAtomic(path, []byte("x")); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+func TestReadChecksumErrorNamesFile(t *testing.T) {
+	dir := t.TempDir()
+	p := syntheticProfile(false)
+	path := filepath.Join(dir, p.FileName())
+	if err := p.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Read(path)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("checksum error should name the damaged file, got %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeGCProfile persists one fixture and pins its mtime so LRU ordering
+// is deterministic.
+func writeGCProfile(tb testing.TB, dir, name string, version uint32, age time.Duration) string {
+	tb.Helper()
+	p := syntheticProfile(false)
+	p.Name, p.Version = name, version
+	path := filepath.Join(dir, p.FileName())
+	if err := p.Write(path); err != nil {
+		tb.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(path, when, when); err != nil {
+		tb.Fatal(err)
+	}
+	return path
+}
+
+func TestGCVersionCap(t *testing.T) {
+	dir := t.TempDir()
+	for v := uint32(1); v <= 5; v++ {
+		writeGCProfile(t, dir, "tenant", v, 0)
+	}
+	writeGCProfile(t, dir, "other", 1, 0)
+	res, err := GCDir(dir, GCPolicy{MaxVersionsPerName: 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 3 {
+		t.Fatalf("removed %v, want tenant@1..3", res.Removed)
+	}
+	for _, ref := range []string{"tenant@4", "tenant@5", "other@1"} {
+		if _, err := os.Stat(filepath.Join(dir, ref+Ext)); err != nil {
+			t.Fatalf("%s should survive: %v", ref, err)
+		}
+	}
+	for _, ref := range []string{"tenant@1", "tenant@2", "tenant@3"} {
+		if _, err := os.Stat(filepath.Join(dir, ref+Ext)); !os.IsNotExist(err) {
+			t.Fatalf("%s should be gone", ref)
+		}
+	}
+}
+
+func TestGCByteCapEvictsLRUButNeverNewest(t *testing.T) {
+	dir := t.TempDir()
+	// Oldest first: a@1 (oldest), a@2, b@1 (newest access).
+	oldPath := writeGCProfile(t, dir, "a", 1, 3*time.Hour)
+	writeGCProfile(t, dir, "a", 2, 2*time.Hour)
+	writeGCProfile(t, dir, "b", 1, time.Hour)
+	st, err := os.Stat(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := st.Size()
+
+	// Budget for two files: the LRU non-newest version (a@1) goes first.
+	res, err := GCDir(dir, GCPolicy{MaxBytes: 2 * size}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != oldPath {
+		t.Fatalf("removed %v, want just %s", res.Removed, oldPath)
+	}
+	if res.OverBudget {
+		t.Fatal("within budget after evicting a@1")
+	}
+
+	// Budget for one file cannot be met: a@2 and b@1 are both their
+	// name's newest version, so the pass stops over budget rather than
+	// cause an outage.
+	res, err = GCDir(dir, GCPolicy{MaxBytes: size}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 0 || !res.OverBudget {
+		t.Fatalf("newest versions were evicted: %+v", res)
+	}
+}
+
+func TestGCDryRunAndSidecars(t *testing.T) {
+	dir := t.TempDir()
+	doomed := writeGCProfile(t, dir, "x", 1, time.Hour)
+	writeGCProfile(t, dir, "x", 2, 0)
+	if err := os.WriteFile(doomed+SigExt, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := GCDir(dir, GCPolicy{MaxVersionsPerName: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != doomed {
+		t.Fatalf("dry run planned %v", res.Removed)
+	}
+	if _, err := os.Stat(doomed); err != nil {
+		t.Fatal("dry run deleted a file")
+	}
+
+	if _, err := GCDir(dir, GCPolicy{MaxVersionsPerName: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(doomed); !os.IsNotExist(err) {
+		t.Fatal("x@1 should be gone")
+	}
+	if _, err := os.Stat(doomed + SigExt); !os.IsNotExist(err) {
+		t.Fatal("sidecar should be gone with its profile")
+	}
+}
+
+func TestGCSkipsUndecodableFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeGCProfile(t, dir, "y", 1, time.Hour)
+	writeGCProfile(t, dir, "y", 2, 0)
+	junk := filepath.Join(dir, "broken@1.dnp")
+	if err := os.WriteFile(junk, []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := GCDir(dir, GCPolicy{MaxVersionsPerName: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 {
+		t.Fatalf("removed %v", res.Removed)
+	}
+	if _, err := os.Stat(junk); err != nil {
+		t.Fatal("GC deleted an undecodable file — corruption evidence must survive")
+	}
+}

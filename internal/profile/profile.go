@@ -328,14 +328,25 @@ func Read(path string) (*Profile, error) {
 	return p, nil
 }
 
-// Write encodes the profile and writes it atomically (temp file + rename
-// in the destination directory), so a registry scanning the directory
-// never observes a half-written profile.
+// Write encodes the profile and writes it atomically (temp file + fsync
+// + rename in the destination directory), so a registry scanning the
+// directory never observes a half-written profile and a crash mid-write
+// can never tear one.
 func (p *Profile) Write(path string) error {
 	data, err := p.Encode()
 	if err != nil {
 		return err
 	}
+	return WriteFileAtomic(path, data)
+}
+
+// WriteFileAtomic writes data to path crash-safely: a temp file in the
+// same directory (rename across file systems is not atomic), fsynced
+// before the rename so a power loss cannot publish a file whose bytes
+// never reached disk, then renamed over path. Every profile artifact —
+// .dnp blobs, .sig sidecars, hub-materialized pulls — goes through this
+// one helper.
+func WriteFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".dnp-tmp-*")
 	if err != nil {
@@ -346,6 +357,9 @@ func (p *Profile) Write(path string) error {
 		// CreateTemp opens 0600; published profiles are world-readable
 		// artifacts like any other codec output.
 		werr = tmp.Chmod(0o644)
+	}
+	if werr == nil {
+		werr = tmp.Sync()
 	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {

@@ -30,6 +30,12 @@ type Registry struct {
 	fingerprint string
 
 	loads atomic.Int64 // successful scan passes (initial load counts)
+
+	// source, when attached, backfills resolve misses and Watch-tick
+	// syncs from a remote hub; fetchMu single-flights miss fetches.
+	source       Source
+	fetchTimeout time.Duration
+	fetchMu      sync.Mutex
 }
 
 // entry pairs a loaded profile with its source file and a lazily built,
@@ -205,9 +211,26 @@ func reuseEntry(prev map[string]map[uint32]*entry, path string, f scannedFile) *
 	return nil
 }
 
-// resolve finds the entry a reference names: an explicit name@version, or
-// the highest version under a bare name.
+// resolve finds the entry a reference names, consulting the attached
+// source (lazy pull) when the reference misses locally. A bare name that
+// resolves to some local version never fetches — periodic sync is what
+// brings newer versions in — so the hot path stays local.
 func (r *Registry) resolve(ref string) (*entry, error) {
+	e, err := r.resolveLocal(ref)
+	if err != nil && errors.Is(err, ErrNotFound) && r.source != nil {
+		name, version, _, perr := ParseRef(ref)
+		if perr != nil {
+			return nil, perr
+		}
+		return r.fetchMiss(ref, name, version)
+	}
+	return e, err
+}
+
+// resolveLocal finds the entry a reference names in the current local
+// snapshot: an explicit name@version, or the highest version under a
+// bare name.
+func (r *Registry) resolveLocal(ref string) (*entry, error) {
 	name, version, hasVersion, err := ParseRef(ref)
 	if err != nil {
 		return nil, err
@@ -294,6 +317,13 @@ const watchFailureThreshold = 3
 // per streak with a nil-count error describing the condition, so a
 // persistently unreadable directory surfaces instead of the registry
 // quietly serving stale profiles.
+//
+// With a source attached, every tick first syncs newly published
+// profiles from it into the directory; the files it writes change the
+// fingerprint and flow through the same reload path as local edits. A
+// sync failure (origin down) leaves the materialized snapshot serving —
+// graceful degradation — and surfaces through onReload only after
+// watchFailureThreshold consecutive failures, like scan failures.
 func (r *Registry) Watch(ctx context.Context, interval time.Duration, onReload func(int, error)) {
 	if interval <= 0 {
 		interval = 5 * time.Second
@@ -301,11 +331,23 @@ func (r *Registry) Watch(ctx context.Context, interval time.Duration, onReload f
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	failures := 0
+	syncFailures := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-tick.C:
+			if r.source != nil {
+				if _, err := r.SyncSource(ctx); err != nil {
+					syncFailures++
+					if syncFailures == watchFailureThreshold && onReload != nil {
+						onReload(0, fmt.Errorf("profile: hub sync into %s failing for %d consecutive polls: %w",
+							r.dir, syncFailures, err))
+					}
+				} else {
+					syncFailures = 0
+				}
+			}
 			files, fingerprint, err := r.scanDir()
 			if err != nil {
 				failures++

@@ -1,0 +1,143 @@
+package profile
+
+// Signature records extend a profile's CRC32 integrity check with
+// Ed25519 authenticity: the CRC catches storage corruption, the
+// signature proves the artifact was published by whoever holds the
+// signing key. A record is a small JSON sidecar (<file>.dnp.sig) next to
+// the profile it covers, and the same record travels inline in a profile
+// hub's index, so "verify before load" works identically for a local
+// directory and a remote origin.
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SigExt is the conventional sidecar suffix: <name>@<version>.dnp.sig.
+const SigExt = ".sig"
+
+// sigMagic versions the byte string signatures cover, so a future format
+// change cannot make old signatures validate new messages.
+const sigMagic = "deepn-profile-sig-v1"
+
+// SignatureRecord binds one profile blob (by SHA-256) and its
+// name@version reference to an Ed25519 signature.
+type SignatureRecord struct {
+	// Ref is the canonical name@version reference of the signed profile.
+	Ref string `json:"ref"`
+	// SHA256 is the lower-case hex SHA-256 of the profile's bytes.
+	SHA256 string `json:"sha256"`
+	// KeyID identifies the signing key (see KeyID); it routes key lookup
+	// and shows up in error messages, but carries no authority itself.
+	KeyID string `json:"key_id"`
+	// Sig is the Ed25519 signature over SignatureMessage(Ref, SHA256).
+	Sig []byte `json:"sig"`
+}
+
+// KeyID renders the short stable identifier of a public key: the first
+// eight bytes of its SHA-256, in hex.
+func KeyID(pub ed25519.PublicKey) string {
+	sum := sha256.Sum256(pub)
+	return hex.EncodeToString(sum[:8])
+}
+
+// BlobSHA256 is the lower-case hex SHA-256 of a profile's bytes — the
+// content address hubs and signature records key on.
+func BlobSHA256(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// SignatureMessage is the exact byte string a signature record signs:
+// a versioned header, the reference, and the blob hash. Signing a digest
+// of the blob (rather than the blob) keeps records verifiable from an
+// index alone, before any blob bytes are fetched.
+func SignatureMessage(ref, shaHex string) []byte {
+	return []byte(sigMagic + "\nref " + ref + "\nsha256 " + shaHex + "\n")
+}
+
+// Sign produces the signature record of one profile blob.
+func Sign(priv ed25519.PrivateKey, ref string, data []byte) *SignatureRecord {
+	shaHex := BlobSHA256(data)
+	return &SignatureRecord{
+		Ref:    ref,
+		SHA256: shaHex,
+		KeyID:  KeyID(priv.Public().(ed25519.PublicKey)),
+		Sig:    ed25519.Sign(priv, SignatureMessage(ref, shaHex)),
+	}
+}
+
+// Verify checks the record against a trusted public key and the actual
+// blob bytes: the hash must match the data, the reference must match the
+// record, and the signature must verify. A nil error means "this exact
+// blob, under this exact name, was signed by the holder of pub".
+func (r *SignatureRecord) Verify(pub ed25519.PublicKey, ref string, data []byte) error {
+	if r.Ref != ref {
+		return fmt.Errorf("profile: signature record is for %q, not %q", r.Ref, ref)
+	}
+	if got := BlobSHA256(data); got != r.SHA256 {
+		return fmt.Errorf("profile: signature record covers sha256 %s, blob is %s", r.SHA256, got)
+	}
+	return r.VerifyDigest(pub, ref, r.SHA256)
+}
+
+// VerifyDigest checks the signature against an expected reference and
+// blob hash without the blob itself — the form a hub client uses to
+// vet an index entry before fetching its blob.
+func (r *SignatureRecord) VerifyDigest(pub ed25519.PublicKey, ref, shaHex string) error {
+	if r.Ref != ref {
+		return fmt.Errorf("profile: signature record is for %q, not %q", r.Ref, ref)
+	}
+	if r.SHA256 != shaHex {
+		return fmt.Errorf("profile: signature record covers sha256 %s, want %s", r.SHA256, shaHex)
+	}
+	if len(r.Sig) != ed25519.SignatureSize {
+		return fmt.Errorf("profile: signature is %d bytes, want %d", len(r.Sig), ed25519.SignatureSize)
+	}
+	if !ed25519.Verify(pub, SignatureMessage(r.Ref, r.SHA256), r.Sig) {
+		return fmt.Errorf("profile: signature of %s does not verify against key %s (record claims key %s)",
+			r.Ref, KeyID(pub), r.KeyID)
+	}
+	return nil
+}
+
+// WriteFile persists the record as a JSON sidecar, atomically like every
+// other artifact write.
+func (r *SignatureRecord) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, append(data, '\n'))
+}
+
+// ReadSignature loads and structurally validates one sidecar file.
+func ReadSignature(path string) (*SignatureRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r SignatureRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, _, hasVersion, err := ParseRef(r.Ref); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	} else if !hasVersion {
+		return nil, fmt.Errorf("%s: ref %q is not a canonical name@version reference", path, r.Ref)
+	}
+	if len(r.SHA256) != sha256.Size*2 {
+		return nil, fmt.Errorf("%s: sha256 field is %d chars, want %d", path, len(r.SHA256), sha256.Size*2)
+	}
+	if _, err := hex.DecodeString(r.SHA256); err != nil {
+		return nil, fmt.Errorf("%s: sha256 field is not hex: %v", path, err)
+	}
+	if len(r.Sig) != ed25519.SignatureSize {
+		return nil, fmt.Errorf("%s: signature is %d bytes, want %d", path, len(r.Sig), ed25519.SignatureSize)
+	}
+	return &r, nil
+}

@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKeyPair(tb testing.TB) (ed25519.PublicKey, ed25519.PrivateKey) {
+	tb.Helper()
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pub, priv
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	pub, priv := testKeyPair(t)
+	p := syntheticProfile(false)
+	data := encodeOK(t, p)
+	rec := Sign(priv, p.Ref(), data)
+	if rec.KeyID != KeyID(pub) {
+		t.Fatalf("key id %s, want %s", rec.KeyID, KeyID(pub))
+	}
+	if err := rec.Verify(pub, p.Ref(), data); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := rec.VerifyDigest(pub, p.Ref(), BlobSHA256(data)); err != nil {
+		t.Fatalf("verify digest: %v", err)
+	}
+}
+
+func TestSignatureRejectsTamperAndWrongKey(t *testing.T) {
+	pub, priv := testKeyPair(t)
+	otherPub, _ := testKeyPair(t)
+	p := syntheticProfile(false)
+	data := encodeOK(t, p)
+	rec := Sign(priv, p.Ref(), data)
+
+	tampered := append([]byte(nil), data...)
+	tampered[40] ^= 1
+	if err := rec.Verify(pub, p.Ref(), tampered); err == nil {
+		t.Fatal("tampered bytes verified")
+	}
+	if err := rec.Verify(pub, "other@9", data); err == nil {
+		t.Fatal("wrong ref verified")
+	}
+	if err := rec.Verify(otherPub, p.Ref(), data); err == nil {
+		t.Fatal("wrong key verified")
+	}
+}
+
+func TestSignatureFileRoundTrip(t *testing.T) {
+	pub, priv := testKeyPair(t)
+	p := syntheticProfile(false)
+	data := encodeOK(t, p)
+	rec := Sign(priv, p.Ref(), data)
+
+	path := filepath.Join(t.TempDir(), p.FileName()+SigExt)
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSignature(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(pub, p.Ref(), data); err != nil {
+		t.Fatalf("verify after file round trip: %v", err)
+	}
+}
+
+func TestReadSignatureRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"not-json":  "garbage",
+		"bad-ref":   `{"ref":"no-version","sha256":"` + strings.Repeat("a", 64) + `","sig":"` + strings.Repeat("A", 86) + `=="}`,
+		"short-sha": `{"ref":"x@1","sha256":"abcd","sig":"` + strings.Repeat("A", 86) + `=="}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSignature(path); err == nil {
+			t.Fatalf("%s: malformed signature file parsed", name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package profilehub
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// benchIndex builds an index with n synthetic entries (distinct names so
+// resolution scans the whole catalog).
+func benchIndex(b *testing.B, n int) *Index {
+	b.Helper()
+	refs := make([]string, n)
+	for i := range refs {
+		refs[i] = fmt.Sprintf("model-%03d@1", i)
+	}
+	return testIndex(b, refs...)
+}
+
+func BenchmarkIndexEncode(b *testing.B) {
+	ix := benchIndex(b, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexParse(b *testing.B) {
+	ix := benchIndex(b, 64)
+	data, err := ix.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseIndex(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexSign(b *testing.B) {
+	_, priv := testHubKey(b)
+	ix := benchIndex(b, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Sign(priv)
+	}
+}
+
+func BenchmarkIndexVerify(b *testing.B) {
+	pub, priv := testHubKey(b)
+	ix := benchIndex(b, 64)
+	ix.Sign(priv)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ix.VerifySignature(pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlobVerify(b *testing.B) {
+	ix := testIndex(b, "a@1")
+	_, data := testProfile(b, "a", 1)
+	c := &Client{}
+	e := &ix.Profiles[0]
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.verifyBlob(data, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPullCacheHit measures the steady-state cost of the path every
+// serving process takes after first pull: index revalidation skipped
+// (origin local), cached blob re-hashed and returned.
+func BenchmarkPullCacheHit(b *testing.B) {
+	_, _, ts := newTestOrigin(b, OriginOptions{}, "a@1")
+	c := newTestClient(b, ts.URL, nil)
+	ctx := context.Background()
+	if _, _, err := c.Pull(ctx, "a", 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Pull(ctx, "a", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

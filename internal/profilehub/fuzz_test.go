@@ -1,0 +1,56 @@
+package profilehub
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseIndex hammers the one parser that consumes untrusted remote
+// bytes. The invariant is simple: ParseIndex either rejects the input or
+// returns an index whose every entry satisfies the documented
+// invariants — it must never panic, and it must never hand back a
+// half-validated document.
+func FuzzParseIndex(f *testing.F) {
+	// Seeds: a real encoded index, edge-case JSON shapes, and classic
+	// parser-confusion inputs.
+	valid := testIndex(f, "a@1", "b@2")
+	if data, err := valid.Encode(); err == nil {
+		f.Add(data)
+	}
+	signed := testIndex(f, "a@1")
+	_, priv := testHubKey(f)
+	signed.Sign(priv)
+	if data, err := signed.Encode(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":1,"generated_unix":0,"profiles":[]}`))
+	f.Add([]byte(`{"format":1,"profiles":[{"name":"a","version":1,"sha256":"` +
+		strings.Repeat("a", 64) + `","size":100,"crc32":"00000000"}]}`))
+	f.Add([]byte(`{"format":1,"profiles":null,"sig":"AAAA"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"format":1e999}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := ParseIndex(data)
+		if err != nil {
+			return
+		}
+		seen := make(map[string]bool)
+		for i := range ix.Profiles {
+			e := &ix.Profiles[i]
+			if verr := validateEntry(e); verr != nil {
+				t.Fatalf("accepted index holds invalid entry %d: %v", i, verr)
+			}
+			if seen[e.Ref()] {
+				t.Fatalf("accepted index lists %s twice", e.Ref())
+			}
+			seen[e.Ref()] = true
+		}
+		if ix.Format != ProtocolVersion {
+			t.Fatalf("accepted index has format %d", ix.Format)
+		}
+	})
+}

@@ -1,0 +1,298 @@
+// Package profilehub distributes calibration profiles to a fleet the
+// way model hubs distribute weights. DeepN-JPEG's accuracy-vs-CR win
+// lives entirely in its calibrated quantization tables, so a serving
+// fleet needs exactly one published, verifiable profile set — not a
+// re-calibration per process, not hand-copied .dnp directories.
+//
+// # Wire protocol
+//
+// The hub is plain HTTP(S), stdlib end to end, so an origin is anything
+// from `deepn-jpeg hub serve` on a box to a bucket behind a CDN:
+//
+//	GET  /hub/v1/index.json     signed JSON index: name@version → sha256,
+//	                            size, CRC32, metadata, signature record.
+//	                            ETag + If-None-Match revalidation.
+//	GET  /hub/v1/blobs/<sha256> content-addressed profile bytes. ETag is
+//	                            the sha; Range requests resume partial
+//	                            pulls.
+//	POST /hub/v1/push           publish one .dnp blob (X-Hub-Push-Key
+//	                            auth when the origin is keyed; versions
+//	                            are immutable — a conflicting re-push of
+//	                            an existing name@version is rejected).
+//
+// Content addressing makes every response trivially cacheable and every
+// fetch verifiable: the client knows the sha256, size and CRC32 of a
+// blob before it asks for it, so a truncated body, a corrupted cache
+// file or a lying origin are all detected the same way.
+//
+// # Trust model
+//
+// Integrity (CRC32, sha256) is always enforced. Authenticity is Ed25519
+// and opt-in: an origin holding a signing key signs the index manifest
+// and embeds a per-profile signature record (see profile.SignatureRecord)
+// in every entry; a client configured with the corresponding public key
+// refuses unsigned or mis-signed indexes and blobs. A client without a
+// trust key still gets integrity, like `go mod download` without a sum
+// database. Keys are raw Ed25519; the key ID (first 8 bytes of the
+// public key's SHA-256) routes lookups but carries no authority.
+package profilehub
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/profile"
+)
+
+const (
+	// ProtocolVersion is the wire format revision this package speaks.
+	ProtocolVersion = 1
+
+	// IndexPath, BlobPathPrefix and PushPath are the protocol routes,
+	// relative to the origin base URL.
+	IndexPath      = "/hub/v1/index.json"
+	BlobPathPrefix = "/hub/v1/blobs/"
+	PushPath       = "/hub/v1/push"
+
+	// MaxIndexBytes bounds an index document; a hostile origin must not
+	// be able to balloon a client's memory through the one unsized fetch.
+	MaxIndexBytes = 8 << 20
+	// MaxBlobBytes bounds one profile blob (real profiles are a few KiB;
+	// the cap is generous headroom, not a target).
+	MaxBlobBytes = 64 << 20
+	// MaxIndexEntries bounds the profile count of one index.
+	MaxIndexEntries = 65536
+
+	// indexSigMagic versions the byte string index signatures cover.
+	indexSigMagic = "deepn-hub-index-v1"
+)
+
+// Entry is one published profile in the index.
+type Entry struct {
+	// Name and Version identify the profile; together they are immutable
+	// once published.
+	Name    string `json:"name"`
+	Version uint32 `json:"version"`
+	// SHA256 is the content address of the blob: lower-case hex over the
+	// full file bytes.
+	SHA256 string `json:"sha256"`
+	// Size is the exact blob size in bytes.
+	Size int64 `json:"size"`
+	// CRC32 is the profile's own trailing checksum (8 hex chars) — the
+	// same value a registry directory scan fingerprints on, carried here
+	// so a client can cross-check a blob against the index without
+	// decoding it.
+	CRC32 string `json:"crc32"`
+	// CreatedUnix and Comment mirror the profile's metadata for listings
+	// that should not require a blob fetch.
+	CreatedUnix int64  `json:"created_unix,omitempty"`
+	Comment     string `json:"comment,omitempty"`
+	// Sig and SigKeyID form the per-profile signature record: an Ed25519
+	// signature over profile.SignatureMessage(ref, sha256). Present only
+	// on signed origins.
+	Sig      []byte `json:"sig,omitempty"`
+	SigKeyID string `json:"sig_key_id,omitempty"`
+}
+
+// Ref renders the entry's canonical name@version reference.
+func (e *Entry) Ref() string { return fmt.Sprintf("%s@%d", e.Name, e.Version) }
+
+// Record adapts the entry's inline signature fields to the sidecar
+// record type the profile package verifies.
+func (e *Entry) Record() *profile.SignatureRecord {
+	return &profile.SignatureRecord{Ref: e.Ref(), SHA256: e.SHA256, KeyID: e.SigKeyID, Sig: e.Sig}
+}
+
+// Index is the hub's one discovery document: everything the origin
+// publishes, plus an optional detached signature over the manifest.
+type Index struct {
+	Format        int     `json:"format"`
+	GeneratedUnix int64   `json:"generated_unix"`
+	Profiles      []Entry `json:"profiles"`
+	// KeyID and Sig sign SigningBytes(); absent on unsigned origins.
+	KeyID string `json:"key_id,omitempty"`
+	Sig   []byte `json:"sig,omitempty"`
+}
+
+// Resolve finds the entry a reference names; version 0 selects the
+// highest published version of the name.
+func (ix *Index) Resolve(name string, version uint32) (*Entry, error) {
+	var best *Entry
+	for i := range ix.Profiles {
+		e := &ix.Profiles[i]
+		if e.Name != name {
+			continue
+		}
+		if version != 0 {
+			if e.Version == version {
+				return e, nil
+			}
+			continue
+		}
+		if best == nil || e.Version > best.Version {
+			best = e
+		}
+	}
+	if best == nil {
+		if version != 0 {
+			return nil, fmt.Errorf("%w: %s@%d in hub index", profile.ErrNotFound, name, version)
+		}
+		return nil, fmt.Errorf("%w: %q in hub index", profile.ErrNotFound, name)
+	}
+	return best, nil
+}
+
+// SigningBytes renders the deterministic manifest an index signature
+// covers: format, generation time, and every entry's identity, content
+// address, size, CRC and inline signature, sorted by name then version.
+// Signing a canonical manifest instead of the JSON bytes keeps the
+// signature stable under re-marshaling and forces tampering with ANY
+// covered field — including stripping a per-profile signature — to
+// invalidate it.
+func (ix *Index) SigningBytes() []byte {
+	entries := make([]*Entry, len(ix.Profiles))
+	for i := range ix.Profiles {
+		entries[i] = &ix.Profiles[i]
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Name != entries[j].Name {
+			return entries[i].Name < entries[j].Name
+		}
+		return entries[i].Version < entries[j].Version
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\nformat %d\ngenerated %d\n", indexSigMagic, ix.Format, ix.GeneratedUnix)
+	for _, e := range entries {
+		sig, keyID := "-", "-"
+		if len(e.Sig) > 0 {
+			sig = base64.StdEncoding.EncodeToString(e.Sig)
+		}
+		if e.SigKeyID != "" {
+			keyID = e.SigKeyID
+		}
+		fmt.Fprintf(&sb, "%s %s %d %s %s %s\n", e.Ref(), e.SHA256, e.Size, e.CRC32, sig, keyID)
+	}
+	return []byte(sb.String())
+}
+
+// Sign attaches the manifest signature.
+func (ix *Index) Sign(priv ed25519.PrivateKey) {
+	ix.KeyID = profile.KeyID(priv.Public().(ed25519.PublicKey))
+	ix.Sig = ed25519.Sign(priv, ix.SigningBytes())
+}
+
+// VerifySignature checks the manifest signature against a trusted public
+// key. An unsigned index fails: a client that configures a trust key has
+// opted out of trusting bare transport.
+func (ix *Index) VerifySignature(pub ed25519.PublicKey) error {
+	if len(ix.Sig) == 0 {
+		return fmt.Errorf("profilehub: index is unsigned but a trust key is configured")
+	}
+	if len(ix.Sig) != ed25519.SignatureSize {
+		return fmt.Errorf("profilehub: index signature is %d bytes, want %d", len(ix.Sig), ed25519.SignatureSize)
+	}
+	if !ed25519.Verify(pub, ix.SigningBytes(), ix.Sig) {
+		return fmt.Errorf("profilehub: index signature does not verify against trusted key %s (index claims key %s)",
+			profile.KeyID(pub), ix.KeyID)
+	}
+	return nil
+}
+
+// Encode marshals the index with entries in canonical (name, version)
+// order.
+func (ix *Index) Encode() ([]byte, error) {
+	sort.Slice(ix.Profiles, func(i, j int) bool {
+		if ix.Profiles[i].Name != ix.Profiles[j].Name {
+			return ix.Profiles[i].Name < ix.Profiles[j].Name
+		}
+		return ix.Profiles[i].Version < ix.Profiles[j].Version
+	})
+	data, err := json.MarshalIndent(ix, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseIndex decodes and structurally validates an index document. Every
+// invariant a client later relies on — valid names, plausible sizes,
+// well-formed hashes, no duplicate references — is enforced here, so the
+// rest of the client never sees a half-trustworthy index.
+func ParseIndex(data []byte) (*Index, error) {
+	if len(data) > MaxIndexBytes {
+		return nil, fmt.Errorf("profilehub: index is %d bytes, limit %d", len(data), MaxIndexBytes)
+	}
+	var ix Index
+	if err := json.Unmarshal(data, &ix); err != nil {
+		return nil, fmt.Errorf("profilehub: parsing index: %w", err)
+	}
+	if ix.Format != ProtocolVersion {
+		return nil, fmt.Errorf("profilehub: index format %d (this build speaks %d)", ix.Format, ProtocolVersion)
+	}
+	if len(ix.Profiles) > MaxIndexEntries {
+		return nil, fmt.Errorf("profilehub: index lists %d profiles, limit %d", len(ix.Profiles), MaxIndexEntries)
+	}
+	seen := make(map[string]bool, len(ix.Profiles))
+	for i := range ix.Profiles {
+		e := &ix.Profiles[i]
+		if err := validateEntry(e); err != nil {
+			return nil, fmt.Errorf("profilehub: index entry %d: %w", i, err)
+		}
+		if seen[e.Ref()] {
+			return nil, fmt.Errorf("profilehub: index lists %s twice", e.Ref())
+		}
+		seen[e.Ref()] = true
+	}
+	if len(ix.Sig) != 0 && len(ix.Sig) != ed25519.SignatureSize {
+		return nil, fmt.Errorf("profilehub: index signature is %d bytes, want %d", len(ix.Sig), ed25519.SignatureSize)
+	}
+	return &ix, nil
+}
+
+func validateEntry(e *Entry) error {
+	if err := profile.ValidateName(e.Name); err != nil {
+		return err
+	}
+	if e.Version == 0 {
+		return fmt.Errorf("version must be ≥ 1")
+	}
+	if err := validateSHA256(e.SHA256); err != nil {
+		return err
+	}
+	if e.Size <= 0 || e.Size > MaxBlobBytes {
+		return fmt.Errorf("blob size %d out of range (0, %d]", e.Size, int64(MaxBlobBytes))
+	}
+	if len(e.CRC32) != 8 {
+		return fmt.Errorf("crc32 field %q is not 8 hex chars", e.CRC32)
+	}
+	if _, err := hex.DecodeString(e.CRC32); err != nil {
+		return fmt.Errorf("crc32 field %q is not hex", e.CRC32)
+	}
+	if len(e.Comment) > profile.MaxCommentLen {
+		return fmt.Errorf("comment exceeds %d bytes", profile.MaxCommentLen)
+	}
+	if len(e.Sig) != 0 && len(e.Sig) != ed25519.SignatureSize {
+		return fmt.Errorf("signature is %d bytes, want %d", len(e.Sig), ed25519.SignatureSize)
+	}
+	return nil
+}
+
+// validateSHA256 checks a lower-case hex content address.
+func validateSHA256(s string) error {
+	if len(s) != sha256.Size*2 {
+		return fmt.Errorf("sha256 field is %d chars, want %d", len(s), sha256.Size*2)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("sha256 field %q is not lower-case hex", s)
+		}
+	}
+	return nil
+}

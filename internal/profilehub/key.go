@@ -1,0 +1,87 @@
+package profilehub
+
+// Ed25519 key files for the hub trust model. The formats are one-line
+// labeled base64 — greppable, diffable, no ASN.1 — because the keys are
+// raw Ed25519 and the only consumers are this package's own tools:
+//
+//	deepn-hub-ed25519-seed:<base64 of the 32-byte private seed>
+//	deepn-hub-ed25519-public:<base64 of the 32-byte public key>
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/base64"
+	"fmt"
+	"os"
+	"strings"
+)
+
+const (
+	privKeyPrefix = "deepn-hub-ed25519-seed:"
+	pubKeyPrefix  = "deepn-hub-ed25519-public:"
+)
+
+// GenerateKey creates a fresh Ed25519 signing key pair.
+func GenerateKey() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	return ed25519.GenerateKey(rand.Reader)
+}
+
+// WritePrivateKeyFile persists the private seed, owner-readable only.
+func WritePrivateKeyFile(path string, priv ed25519.PrivateKey) error {
+	if len(priv) != ed25519.PrivateKeySize {
+		return fmt.Errorf("profilehub: private key is %d bytes, want %d", len(priv), ed25519.PrivateKeySize)
+	}
+	line := privKeyPrefix + base64.StdEncoding.EncodeToString(priv.Seed()) + "\n"
+	return os.WriteFile(path, []byte(line), 0o600)
+}
+
+// ReadPrivateKeyFile loads a private key file written by
+// WritePrivateKeyFile.
+func ReadPrivateKeyFile(path string) (ed25519.PrivateKey, error) {
+	raw, err := readKeyLine(path, privKeyPrefix)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != ed25519.SeedSize {
+		return nil, fmt.Errorf("%s: seed is %d bytes, want %d", path, len(raw), ed25519.SeedSize)
+	}
+	return ed25519.NewKeyFromSeed(raw), nil
+}
+
+// WritePublicKeyFile persists the public key.
+func WritePublicKeyFile(path string, pub ed25519.PublicKey) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("profilehub: public key is %d bytes, want %d", len(pub), ed25519.PublicKeySize)
+	}
+	line := pubKeyPrefix + base64.StdEncoding.EncodeToString(pub) + "\n"
+	return os.WriteFile(path, []byte(line), 0o644)
+}
+
+// ReadPublicKeyFile loads a public key file written by
+// WritePublicKeyFile.
+func ReadPublicKeyFile(path string) (ed25519.PublicKey, error) {
+	raw, err := readKeyLine(path, pubKeyPrefix)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("%s: public key is %d bytes, want %d", path, len(raw), ed25519.PublicKeySize)
+	}
+	return ed25519.PublicKey(raw), nil
+}
+
+func readKeyLine(path, prefix string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	line := strings.TrimSpace(string(data))
+	if !strings.HasPrefix(line, prefix) {
+		return nil, fmt.Errorf("%s: not a %q key file", path, strings.TrimSuffix(prefix, ":"))
+	}
+	raw, err := base64.StdEncoding.DecodeString(strings.TrimPrefix(line, prefix))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return raw, nil
+}

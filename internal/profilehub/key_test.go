@@ -1,0 +1,67 @@
+package profilehub
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKeyFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pub, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	privPath := filepath.Join(dir, "hub.key")
+	pubPath := filepath.Join(dir, "hub.key.pub")
+	if err := WritePrivateKeyFile(privPath, priv); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePublicKeyFile(pubPath, pub); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(privPath); err != nil || st.Mode().Perm() != 0o600 {
+		t.Fatalf("private key mode %v, %v; want 0600", st.Mode().Perm(), err)
+	}
+	privBack, err := ReadPrivateKeyFile(privPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubBack, err := ReadPublicKeyFile(pubPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !priv.Equal(privBack) || !pub.Equal(pubBack) {
+		t.Fatal("keys did not round trip")
+	}
+}
+
+func TestKeyFileRejectsWrongType(t *testing.T) {
+	dir := t.TempDir()
+	pub, priv, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	privPath := filepath.Join(dir, "hub.key")
+	pubPath := filepath.Join(dir, "hub.key.pub")
+	if err := WritePrivateKeyFile(privPath, priv); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePublicKeyFile(pubPath, pub); err != nil {
+		t.Fatal(err)
+	}
+	// Swapped files must not read as the other kind.
+	if _, err := ReadPrivateKeyFile(pubPath); err == nil {
+		t.Fatal("public key file read as a private key")
+	}
+	if _, err := ReadPublicKeyFile(privPath); err == nil {
+		t.Fatal("private key file read as a public key")
+	}
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("deepn-hub-ed25519-public:!!!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPublicKeyFile(junk); err == nil {
+		t.Fatal("invalid base64 key parsed")
+	}
+}

@@ -1,0 +1,394 @@
+package profilehub
+
+// Origin mode: publish a directory of .dnp profiles over the hub wire
+// protocol. `deepn-jpeg hub serve` wraps this handler so a fleet needs
+// no external infrastructure — one process with a profile directory IS
+// the hub — and the whole distribution loop stays httptest-coverable.
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// OriginOptions configures an Origin.
+type OriginOptions struct {
+	// Dir is the profile directory being published. It must exist; the
+	// origin rescans it lazily whenever its fingerprint changes, so
+	// files dropped in (or pushed) appear in the index without restarts.
+	Dir string
+	// SigningKey, when set, signs the index manifest and every entry
+	// that does not already carry a valid sidecar signature record.
+	SigningKey ed25519.PrivateKey
+	// PushKey gates POST /hub/v1/push: requests must present it as
+	// X-Hub-Push-Key. Empty leaves push open — fine on a workstation,
+	// not on anything reachable.
+	PushKey string
+	// MaxBlobBytes caps a pushed profile (default MaxBlobBytes).
+	MaxBlobBytes int64
+	// Now stamps generated indexes; nil means time.Now. Tests pin it.
+	Now func() time.Time
+}
+
+// Origin serves one profile directory over the hub protocol.
+type Origin struct {
+	opts OriginOptions
+
+	mu    sync.Mutex
+	built *builtIndex
+
+	// Counters surfaced by Stats, mirroring the client's.
+	indexRequests atomic.Int64
+	blobRequests  atomic.Int64
+	pushes        atomic.Int64
+}
+
+// builtIndex is one immutable index build: document bytes, parsed form,
+// the directory fingerprint it was built from, and the blob route table.
+type builtIndex struct {
+	index       *Index
+	encoded     []byte
+	etag        string
+	fingerprint string
+	blobs       map[string]string // sha256 hex → file path
+}
+
+// NewOrigin validates the directory and runs the initial scan, so a
+// serve command fails at boot — not at first request — on a bad dir.
+func NewOrigin(opts OriginOptions) (*Origin, error) {
+	if opts.MaxBlobBytes <= 0 {
+		opts.MaxBlobBytes = MaxBlobBytes
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if st, err := os.Stat(opts.Dir); err != nil {
+		return nil, err
+	} else if !st.IsDir() {
+		return nil, fmt.Errorf("profilehub: %s is not a directory", opts.Dir)
+	}
+	o := &Origin{opts: opts}
+	if _, err := o.currentIndex(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Index returns the current parsed index (rebuilding if the directory
+// changed since the last build).
+func (o *Origin) Index() (*Index, error) {
+	b, err := o.currentIndex()
+	if err != nil {
+		return nil, err
+	}
+	return b.index, nil
+}
+
+// OriginStats is the origin-side request accounting.
+type OriginStats struct {
+	IndexRequests, BlobRequests, Pushes int64
+}
+
+// Stats snapshots the request counters.
+func (o *Origin) Stats() OriginStats {
+	return OriginStats{
+		IndexRequests: o.indexRequests.Load(),
+		BlobRequests:  o.blobRequests.Load(),
+		Pushes:        o.pushes.Load(),
+	}
+}
+
+// currentIndex returns the cached build when the directory fingerprint
+// still matches, rebuilding otherwise. Corrupt files are skipped (the
+// healthy remainder still publishes), exactly like a registry scan.
+func (o *Origin) currentIndex() (*builtIndex, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	fp, err := dirFingerprint(o.opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if o.built != nil && o.built.fingerprint == fp {
+		return o.built, nil
+	}
+	b, err := o.buildIndex(fp)
+	if err != nil {
+		return nil, err
+	}
+	o.built = b
+	return b, nil
+}
+
+// dirFingerprint is the change-detection key: sorted (name, size, mtime)
+// tuples of every .dnp and .sig file.
+func dirFingerprint(dir string) (string, error) {
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || (!strings.HasSuffix(name, profile.Ext) && !strings.HasSuffix(name, profile.Ext+profile.SigExt)) {
+			continue
+		}
+		var size, mtime int64
+		if info, err := de.Info(); err == nil {
+			size, mtime = info.Size(), info.ModTime().UnixNano()
+		}
+		lines = append(lines, fmt.Sprintf("%s|%d|%d", name, size, mtime))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n"), nil
+}
+
+// buildIndex scans the directory into a fresh signed index build.
+func (o *Origin) buildIndex(fingerprint string) (*builtIndex, error) {
+	dirents, err := os.ReadDir(o.opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Format: ProtocolVersion, GeneratedUnix: o.opts.Now().Unix()}
+	blobs := make(map[string]string)
+	seen := make(map[string]string) // ref → path, duplicate detection
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), profile.Ext) {
+			continue
+		}
+		path := filepath.Join(o.opts.Dir, de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		p, err := profile.Decode(data)
+		if err != nil {
+			continue // skip damaged files; they are not publishable
+		}
+		ref := p.Ref()
+		if prev, dup := seen[ref]; dup {
+			return nil, fmt.Errorf("profilehub: %s and %s both declare %s", prev, path, ref)
+		}
+		seen[ref] = path
+		e := Entry{
+			Name:        p.Name,
+			Version:     p.Version,
+			SHA256:      profile.BlobSHA256(data),
+			Size:        int64(len(data)),
+			CRC32:       fmt.Sprintf("%08x", binary.BigEndian.Uint32(data[len(data)-4:])),
+			CreatedUnix: p.CreatedUnix,
+			Comment:     p.Comment,
+		}
+		// Signature precedence: a valid sidecar record (offline signing)
+		// wins; otherwise the origin's own key signs; otherwise the
+		// entry ships unsigned.
+		if rec, err := profile.ReadSignature(path + profile.SigExt); err == nil &&
+			rec.Ref == ref && rec.SHA256 == e.SHA256 {
+			e.Sig, e.SigKeyID = rec.Sig, rec.KeyID
+		} else if o.opts.SigningKey != nil {
+			rec := profile.Sign(o.opts.SigningKey, ref, data)
+			e.Sig, e.SigKeyID = rec.Sig, rec.KeyID
+		}
+		blobs[e.SHA256] = path
+		ix.Profiles = append(ix.Profiles, e)
+	}
+	if o.opts.SigningKey != nil {
+		ix.Sign(o.opts.SigningKey)
+	}
+	encoded, err := ix.Encode()
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(encoded)
+	return &builtIndex{
+		index:       ix,
+		encoded:     encoded,
+		etag:        `"` + hex.EncodeToString(sum[:16]) + `"`,
+		fingerprint: fingerprint,
+		blobs:       blobs,
+	}, nil
+}
+
+// ServeHTTP routes the three protocol endpoints.
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == IndexPath:
+		o.serveIndex(w, r)
+	case strings.HasPrefix(r.URL.Path, BlobPathPrefix):
+		o.serveBlob(w, r)
+	case r.URL.Path == PushPath:
+		o.servePush(w, r)
+	default:
+		httpError(w, http.StatusNotFound, "not_found", "unknown hub path %q", r.URL.Path)
+	}
+}
+
+func (o *Origin) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "index is GET only")
+		return
+	}
+	o.indexRequests.Add(1)
+	b, err := o.currentIndex()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "index_unavailable", "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", b.etag)
+	// ServeContent handles If-None-Match → 304 and (irrelevantly small
+	// here) range requests; the zero modtime disables time-based
+	// validation so the ETag is the single source of truth.
+	http.ServeContent(w, r, "index.json", time.Time{}, bytes.NewReader(b.encoded))
+}
+
+func (o *Origin) serveBlob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "blobs are GET only")
+		return
+	}
+	o.blobRequests.Add(1)
+	sha := strings.TrimPrefix(r.URL.Path, BlobPathPrefix)
+	if err := validateSHA256(sha); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_blob_ref", "%v", err)
+		return
+	}
+	b, err := o.currentIndex()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "index_unavailable", "%v", err)
+		return
+	}
+	path, ok := b.blobs[sha]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown_blob", "no blob %s in index", sha)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "blob_unavailable", "%v", err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", `"`+sha+`"`)
+	// Content-addressed blobs are immutable, so the zero modtime +
+	// sha ETag give correct revalidation, and ServeContent's Range
+	// support is what makes client pulls resumable.
+	http.ServeContent(w, r, sha, time.Time{}, f)
+}
+
+// servePush accepts one encoded profile, validates it end to end, and
+// publishes it into the directory. Versions are immutable: re-pushing
+// identical bytes is an idempotent success, conflicting bytes under an
+// existing name@version are a 409.
+func (o *Origin) servePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "push is POST only")
+		return
+	}
+	if o.opts.PushKey != "" && r.Header.Get("X-Hub-Push-Key") != o.opts.PushKey {
+		httpError(w, http.StatusForbidden, "push_key_required", "push requires the origin's push key")
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, o.opts.MaxBlobBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "blob_too_large", "%v", err)
+		return
+	}
+	p, err := profile.Decode(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_profile", "pushed bytes are not a valid profile: %v", err)
+		return
+	}
+	path := filepath.Join(o.opts.Dir, p.FileName())
+	if existing, err := os.ReadFile(path); err == nil {
+		if bytes.Equal(existing, data) {
+			o.pushes.Add(1)
+			writePushResponse(w, http.StatusOK, p, data)
+			return
+		}
+		httpError(w, http.StatusConflict, "version_conflict",
+			"%s already published with different bytes; versions are immutable, push a new version", p.Ref())
+		return
+	}
+	if err := profile.WriteFileAtomic(path, data); err != nil {
+		httpError(w, http.StatusInternalServerError, "publish_failed", "%v", err)
+		return
+	}
+	// An offline signature may ride along in headers; it lands as the
+	// sidecar the next index build picks up (and prefers over origin
+	// signing). A malformed one fails the push — publishing a blob while
+	// dropping its signature would downgrade it to unsigned silently.
+	if sig := r.Header.Get("X-Hub-Sig"); sig != "" {
+		rec, err := parsePushSignature(r, p.Ref(), data)
+		if err != nil {
+			os.Remove(path)
+			httpError(w, http.StatusBadRequest, "bad_signature", "%v", err)
+			return
+		}
+		if err := rec.WriteFile(path + profile.SigExt); err != nil {
+			os.Remove(path)
+			httpError(w, http.StatusInternalServerError, "publish_failed", "%v", err)
+			return
+		}
+	}
+	o.pushes.Add(1)
+	writePushResponse(w, http.StatusCreated, p, data)
+}
+
+// parsePushSignature reconstructs a signature record from the push
+// headers (X-Hub-Sig: base64 signature, X-Hub-Sig-Key-Id: key id).
+func parsePushSignature(r *http.Request, ref string, data []byte) (*profile.SignatureRecord, error) {
+	raw, err := base64.StdEncoding.DecodeString(r.Header.Get("X-Hub-Sig"))
+	if err != nil {
+		return nil, fmt.Errorf("X-Hub-Sig: %w", err)
+	}
+	if len(raw) != ed25519.SignatureSize {
+		return nil, fmt.Errorf("X-Hub-Sig is %d bytes, want %d", len(raw), ed25519.SignatureSize)
+	}
+	return &profile.SignatureRecord{
+		Ref:    ref,
+		SHA256: profile.BlobSHA256(data),
+		KeyID:  r.Header.Get("X-Hub-Sig-Key-Id"),
+		Sig:    raw,
+	}, nil
+}
+
+func writePushResponse(w http.ResponseWriter, status int, p *profile.Profile, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"ref":    p.Ref(),
+		"sha256": profile.BlobSHA256(data),
+		"size":   len(data),
+	})
+}
+
+// httpError mirrors the serving layer's JSON error envelope so hub and
+// codec endpoints read the same on the wire.
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": status,
+		"error":  map[string]string{"code": code, "message": fmt.Sprintf(format, args...)},
+	})
+}

@@ -1,0 +1,303 @@
+package profilehub
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+// newTestOrigin publishes the given refs from a fresh directory and
+// returns the origin, its directory, and an httptest server for it.
+func newTestOrigin(tb testing.TB, opts OriginOptions, refs ...string) (*Origin, string, *httptest.Server) {
+	tb.Helper()
+	if opts.Dir == "" {
+		opts.Dir = tb.TempDir()
+	}
+	for _, ref := range refs {
+		name, version, _, err := profile.ParseRef(ref)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		p, data := testProfile(tb, name, version)
+		if err := profile.WriteFileAtomic(filepath.Join(opts.Dir, p.FileName()), data); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	o, err := NewOrigin(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(o)
+	tb.Cleanup(ts.Close)
+	return o, opts.Dir, ts
+}
+
+func TestOriginIndexETagRevalidation(t *testing.T) {
+	_, dir, ts := newTestOrigin(t, OriginOptions{}, "a@1", "b@2")
+	resp, err := http.Get(ts.URL + IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("index GET: %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("index served without an ETag")
+	}
+	ix, err := ParseIndex(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Profiles) != 2 {
+		t.Fatalf("index lists %d profiles, want 2", len(ix.Profiles))
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+IndexPath, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("unchanged index revalidation: %d, want 304", resp.StatusCode)
+	}
+
+	// Changing the directory changes the ETag: the same If-None-Match now
+	// gets a fresh 200 listing the new profile.
+	p, data := testProfile(t, "c", 1)
+	if err := profile.WriteFileAtomic(filepath.Join(dir, p.FileName()), data); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("changed index revalidation: %d, want 200", resp.StatusCode)
+	}
+	if ix, err = ParseIndex(body); err != nil || len(ix.Profiles) != 3 {
+		t.Fatalf("rebuilt index: %d profiles, %v", len(ix.Profiles), err)
+	}
+}
+
+func TestOriginBlobServingAndRange(t *testing.T) {
+	o, _, ts := newTestOrigin(t, OriginOptions{}, "a@1")
+	ix, err := o.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &ix.Profiles[0]
+	_, want := testProfile(t, "a", 1)
+
+	resp, err := http.Get(ts.URL + BlobPathPrefix + e.SHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Equal(got, want) {
+		t.Fatalf("blob GET: %d, %d bytes", resp.StatusCode, len(got))
+	}
+	if resp.Header.Get("ETag") != `"`+e.SHA256+`"` {
+		t.Fatalf("blob ETag %q, want quoted sha", resp.Header.Get("ETag"))
+	}
+
+	// Range resume: ask for the tail, get a 206 with exactly the rest.
+	half := len(want) / 2
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+BlobPathPrefix+e.SHA256, nil)
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-", half))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range GET: %d, want 206", resp.StatusCode)
+	}
+	if !bytes.Equal(got, want[half:]) {
+		t.Fatal("range body is not the requested tail")
+	}
+
+	// Unknown and malformed content addresses.
+	for _, path := range []string{
+		BlobPathPrefix + "0000000000000000000000000000000000000000000000000000000000000000",
+		BlobPathPrefix + "not-a-sha",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d, want 404/400", path, resp.StatusCode)
+		}
+	}
+}
+
+func push(tb testing.TB, url string, data []byte, hdr map[string]string) *http.Response {
+	tb.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+PushPath, bytes.NewReader(data))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestOriginPushLifecycle(t *testing.T) {
+	o, dir, ts := newTestOrigin(t, OriginOptions{PushKey: "sekrit"})
+	_, data := testProfile(t, "pushed", 1)
+	auth := map[string]string{"X-Hub-Push-Key": "sekrit"}
+
+	if resp := push(t, ts.URL, data, nil); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("keyless push: %d, want 403", resp.StatusCode)
+	}
+	if resp := push(t, ts.URL, data, auth); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first push: %d, want 201", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "pushed@1.dnp")); err != nil {
+		t.Fatalf("pushed profile not on disk: %v", err)
+	}
+	// Idempotent re-push of identical bytes.
+	if resp := push(t, ts.URL, data, auth); resp.StatusCode != http.StatusOK {
+		t.Fatalf("identical re-push: %d, want 200", resp.StatusCode)
+	}
+	// Conflicting bytes under the same name@version: versions are
+	// immutable.
+	p2, _ := testProfile(t, "pushed", 1)
+	p2.Comment = "different bytes, same ref"
+	conflicting, err := p2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := push(t, ts.URL, conflicting, auth); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting re-push: %d, want 409", resp.StatusCode)
+	}
+	// Garbage body.
+	if resp := push(t, ts.URL, []byte("not a profile"), auth); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage push: %d, want 400", resp.StatusCode)
+	}
+	// The pushed profile shows up in the next index build.
+	ix, err := o.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Resolve("pushed", 1); err != nil {
+		t.Fatalf("pushed profile not indexed: %v", err)
+	}
+	if got := o.Stats().Pushes; got != 2 {
+		t.Fatalf("push counter %d, want 2 (created + idempotent)", got)
+	}
+}
+
+func TestOriginPushOfflineSignature(t *testing.T) {
+	pub, priv := testHubKey(t)
+	o, dir, ts := newTestOrigin(t, OriginOptions{})
+	_, data := testProfile(t, "signed", 1)
+	rec := profile.Sign(priv, "signed@1", data)
+
+	resp := push(t, ts.URL, data, map[string]string{
+		"X-Hub-Sig":        base64.StdEncoding.EncodeToString(rec.Sig),
+		"X-Hub-Sig-Key-Id": rec.KeyID,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("signed push: %d, want 201", resp.StatusCode)
+	}
+	back, err := profile.ReadSignature(filepath.Join(dir, "signed@1.dnp"+profile.SigExt))
+	if err != nil {
+		t.Fatalf("sidecar: %v", err)
+	}
+	if err := back.Verify(pub, "signed@1", data); err != nil {
+		t.Fatalf("sidecar does not verify: %v", err)
+	}
+	// The index entry carries the offline signature even though the
+	// origin itself has no key.
+	ix, err := o.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ix.Resolve("signed", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Record().Verify(pub, "signed@1", data); err != nil {
+		t.Fatalf("indexed signature: %v", err)
+	}
+
+	// A malformed signature fails the whole push — no blob, no sidecar.
+	_, data2 := testProfile(t, "signed", 2)
+	resp = push(t, ts.URL, data2, map[string]string{"X-Hub-Sig": "!!not-base64!!"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed sig push: %d, want 400", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "signed@2.dnp")); !os.IsNotExist(err) {
+		t.Fatal("blob published despite rejected signature")
+	}
+}
+
+func TestOriginSignsEntriesAndIndex(t *testing.T) {
+	pub, priv := testHubKey(t)
+	o, _, _ := newTestOrigin(t, OriginOptions{SigningKey: priv}, "a@1")
+	ix, err := o.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.VerifySignature(pub); err != nil {
+		t.Fatalf("index signature: %v", err)
+	}
+	e := &ix.Profiles[0]
+	_, data := testProfile(t, "a", 1)
+	if err := e.Record().Verify(pub, "a@1", data); err != nil {
+		t.Fatalf("entry signature: %v", err)
+	}
+}
+
+func TestOriginSkipsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "junk@1.dnp"), []byte("damaged"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, _, _ := newTestOrigin(t, OriginOptions{Dir: dir}, "ok@1")
+	ix, err := o.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Profiles) != 1 || ix.Profiles[0].Ref() != "ok@1" {
+		t.Fatalf("index = %+v, want just ok@1", ix.Profiles)
+	}
+}
+
+func TestOriginRejectsDuplicateRefs(t *testing.T) {
+	dir := t.TempDir()
+	_, data := testProfile(t, "dup", 1)
+	for _, fn := range []string{"dup@1.dnp", "copy-of-dup.dnp"} {
+		if err := os.WriteFile(filepath.Join(dir, fn), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewOrigin(OriginOptions{Dir: dir}); err == nil {
+		t.Fatal("two files declaring the same ref should fail the scan")
+	}
+}

@@ -27,6 +27,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/ed25519"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -40,6 +41,7 @@ import (
 	"net/http"
 	"net/textproto"
 	"net/url"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +54,7 @@ import (
 	"repro/internal/jpegcodec"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
+	"repro/internal/profilehub"
 	"repro/internal/qtable"
 )
 
@@ -89,6 +92,23 @@ type Options struct {
 	// hot-reloads the registry when files change. The watcher stops at
 	// Shutdown.
 	ProfileWatch time.Duration
+	// HubOrigin, when set, attaches a profile-hub client to the registry:
+	// a profile reference that misses locally is pulled from this origin
+	// on first use (including the boot-time DefaultProfile resolution, so
+	// a server can start against an empty ProfileDir), and each
+	// ProfileWatch tick syncs newly published profiles down before the
+	// normal directory rescan. Requires ProfileDir.
+	HubOrigin string
+	// HubCacheDir is the hub client's local content-addressed cache
+	// (default: <ProfileDir>/.hub-cache). Cached blobs keep the server
+	// booting and serving through origin outages.
+	HubCacheDir string
+	// HubTrustedKey, when set, requires the hub index and every pulled
+	// profile to carry a valid Ed25519 signature under this key.
+	HubTrustedKey ed25519.PublicKey
+	// HubFetchTimeout bounds one lazy miss-triggered hub fetch
+	// (default 30s).
+	HubFetchTimeout time.Duration
 	// AdminKey, when set, is required (as X-API-Key or Bearer token) by
 	// the /admin/* endpoints in addition to normal tenant admission, so
 	// ordinary codec tenants cannot trigger reloads. Empty leaves admin
@@ -148,6 +168,7 @@ type Server struct {
 	// later requests see while in-flight ones finish on the snapshot they
 	// started with.
 	registry   *profile.Registry
+	hub        *profilehub.Client
 	defaultRef string
 	serving    atomic.Pointer[servingProfile]
 	stopWatch  context.CancelFunc
@@ -207,6 +228,29 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: loading profile directory: %w", err)
 		}
 		s.registry = reg
+	}
+	if opts.HubOrigin != "" {
+		if s.registry == nil {
+			return nil, errors.New("server: Options.HubOrigin requires Options.ProfileDir")
+		}
+		cacheDir := opts.HubCacheDir
+		if cacheDir == "" {
+			cacheDir = filepath.Join(opts.ProfileDir, ".hub-cache")
+		}
+		hub, err := profilehub.NewClient(profilehub.ClientOptions{
+			Origin:         opts.HubOrigin,
+			CacheDir:       cacheDir,
+			TrustedKey:     opts.HubTrustedKey,
+			RequestTimeout: opts.HubFetchTimeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: hub client: %w", err)
+		}
+		s.hub = hub
+		// Attached before the DefaultProfile resolution below, so a fleet
+		// node with an empty profile directory lazily pulls its serving
+		// profile at boot.
+		s.registry.AttachSource(hub, opts.HubFetchTimeout)
 	}
 	s.defaultRef = opts.DefaultProfile
 	if s.defaultRef != "" {
@@ -324,7 +368,29 @@ func (s *Server) profileStatus() map[string]any {
 			status["last_watch_error"] = msg
 		}
 	}
+	if s.hub != nil {
+		hs := s.hub.Stats()
+		status["hub"] = map[string]any{
+			"origin":             s.opts.HubOrigin,
+			"index_fetches":      hs.IndexFetches,
+			"index_not_modified": hs.IndexNotModified,
+			"index_fallbacks":    hs.IndexFallbacks,
+			"blob_fetches":       hs.BlobFetches,
+			"blob_cache_hits":    hs.BlobCacheHits,
+			"retries":            hs.Retries,
+			"verify_failures":    hs.VerifyFailures,
+		}
+	}
 	return status
+}
+
+// HubStats exposes the hub client counters (zero value when the server
+// runs without a hub origin).
+func (s *Server) HubStats() profilehub.ClientStats {
+	if s.hub == nil {
+		return profilehub.ClientStats{}
+	}
+	return s.hub.Stats()
 }
 
 // reresolveDefault re-resolves the default profile reference after a
