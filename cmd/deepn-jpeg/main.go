@@ -16,7 +16,7 @@
 //	deepn-jpeg requantize -in img.jpg -out out.jpg [-qf 60 | -deepn]
 //	                      [-strip-metadata]                       # alias: transcode
 //	deepn-jpeg requantize -in dir/ -out dir/ [-workers N] ...      # batch-requantize a directory
-//	deepn-jpeg inspect    -in img.jpg                               # tables + metadata
+//	deepn-jpeg inspect    -in img.jpg                               # markers, scan parameters, tables
 //	deepn-jpeg serve      -addr :8080 [-profile-dir profiles/ -profile name]
 //	                      [-hub-origin URL -hub-pub k.pub]          # pull profiles from a hub
 //	                      [-api-keys k1:4,k2] [-workers N]         # HTTP codec service
@@ -837,16 +837,38 @@ func runInspect(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("inspect needs -in")
 	}
-	f, err := os.Open(*in)
+	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	dec, err := jpegcodec.Decode(f)
+	// The marker walk is decode-free, so it reports structure even for
+	// streams the decoder rejects (arithmetic coding, lossless, …).
+	info, ierr := jpegcodec.Inspect(bytes.NewReader(data))
+	for _, seg := range info.Segments {
+		fmt.Printf("%8d  %-40s", seg.Offset, seg.Name)
+		if seg.Length >= 0 {
+			fmt.Printf(" %6d bytes", seg.Length)
+		}
+		if seg.Detail != "" {
+			fmt.Printf("  %s", seg.Detail)
+		}
+		fmt.Println()
+	}
+	if ierr != nil {
+		return ierr
+	}
+	if info.Frame != nil && !info.Frame.Supported {
+		fmt.Printf("\ncoding process not supported by this decoder (%s); marker structure only\n", info.Frame.Name)
+		return nil
+	}
+	dec, err := jpegcodec.Decode(bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %dx%d, %d component(s), %v", *in, dec.W, dec.H, dec.Components, dec.Sampling)
+	fmt.Printf("\n%s: %dx%d, %d component(s), %v", *in, dec.W, dec.H, dec.Components, dec.Sampling)
+	if dec.Progressive {
+		fmt.Printf(", progressive (%d scans)", len(info.Scans))
+	}
 	if dec.RestartInterval > 0 {
 		fmt.Printf(", restart interval %d", dec.RestartInterval)
 	}

@@ -428,7 +428,8 @@ func DecodeBatchInto(ctx context.Context, streams [][]byte, dst []*Image, opts B
 // calls (and across workers — each concurrent decode checks out its own).
 var decodedPool = sync.Pool{New: func() any { return new(jpegcodec.Decoded) }}
 
-// Decode parses any baseline JFIF/JPEG stream into a color image.
+// Decode parses any baseline or progressive JFIF/JPEG stream into a
+// color image.
 func Decode(data []byte) (*Image, error) {
 	return DecodeInto(nil, data, DecodeOptions{})
 }
@@ -446,8 +447,8 @@ func DecodeInto(dst *Image, data []byte, opts DecodeOptions) (*Image, error) {
 	return dec.RGBInto(dst), nil
 }
 
-// DecodeGray parses a baseline JFIF/JPEG stream and returns its luma
-// plane.
+// DecodeGray parses a baseline or progressive JFIF/JPEG stream and
+// returns its luma plane.
 func DecodeGray(data []byte) (*Gray, error) {
 	dec := decodedPool.Get().(*jpegcodec.Decoded)
 	defer decodedPool.Put(dec)
@@ -455,6 +456,25 @@ func DecodeGray(data []byte) (*Gray, error) {
 		return nil, err
 	}
 	return dec.Gray(), nil
+}
+
+// StreamInfo is the marker-structure report of Inspect: every segment
+// in stream order, the parsed frame header, and each scan's
+// spectral-selection and successive-approximation parameters.
+type StreamInfo = jpegcodec.StreamInfo
+
+// UnsupportedFormatError reports a JPEG coding process this codec does
+// not decode (arithmetic coding, lossless, hierarchical). Inspect still
+// walks such streams; Decode returns this error, and the HTTP server
+// maps it to a 415 unsupported_format response.
+type UnsupportedFormatError = jpegcodec.UnsupportedFormatError
+
+// Inspect walks a JPEG stream's marker structure without decoding
+// entropy data. It tolerates coding processes Decode rejects, which is
+// when a structure dump is most useful; on a truncated stream it
+// returns the readable prefix alongside the error.
+func Inspect(data []byte) (*StreamInfo, error) {
+	return jpegcodec.Inspect(bytes.NewReader(data))
 }
 
 // EncodeJPEG compresses with the standard Annex-K tables at a quality

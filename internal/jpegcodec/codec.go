@@ -8,6 +8,17 @@
 // tables, restart intervals, APPn/COM metadata recording and passthrough
 // (EXIF, ICC, JFIF, comments), and the coefficient zero-masks used by
 // the paper's RM-HF baseline.
+//
+// The decoder is built around a frame/scan split: a frame owns one
+// full-image coefficient plane per component, each SOS accumulates
+// coefficients into those planes — baseline interleaved, baseline
+// non-interleaved, or progressive DC/AC first/refinement scans — and a
+// single batched reconstruction stage turns the finished planes into
+// pixels. Progressive (SOF2) streams therefore decode through the exact
+// coefficient domain Requantize transcodes from, so progressive inputs
+// re-emit as baseline output. Progressive encoding is not implemented;
+// arithmetic-coded, lossless and hierarchical processes are rejected
+// with UnsupportedFormatError.
 package jpegcodec
 
 import (
@@ -23,8 +34,8 @@ const (
 	mSOI  = 0xD8 // start of image
 	mEOI  = 0xD9 // end of image
 	mSOF0 = 0xC0 // baseline DCT frame
-	mSOF1 = 0xC1 // extended sequential (unsupported)
-	mSOF2 = 0xC2 // progressive (unsupported)
+	mSOF1 = 0xC1 // extended sequential DCT frame (Huffman)
+	mSOF2 = 0xC2 // progressive DCT frame (Huffman)
 	mDHT  = 0xC4 // define huffman table
 	mDQT  = 0xDB // define quantization table
 	mDRI  = 0xDD // define restart interval
@@ -32,7 +43,54 @@ const (
 	mAPP0 = 0xE0 // JFIF
 	mCOM  = 0xFE // comment
 	mRST0 = 0xD0 // restart markers D0..D7
+	mTEM  = 0x01 // temporary private use (bare marker, no payload)
 )
+
+// UnsupportedFormatError reports a syntactically well-formed JPEG stream
+// whose coding process this codec does not implement: the lossless,
+// hierarchical/differential and arithmetic-coded frame families. The
+// server maps it onto a distinct HTTP status (415) so clients can tell
+// "valid JPEG we don't speak" apart from "corrupt input".
+type UnsupportedFormatError struct {
+	Marker byte   // the frame-family marker code (0xC3..0xCF)
+	Name   string // human-readable marker name and coding process
+}
+
+func (e *UnsupportedFormatError) Error() string {
+	return fmt.Sprintf("jpegcodec: unsupported coding process %s (marker %#02x)", e.Name, e.Marker)
+}
+
+// unsupportedFrameName names the frame-family markers the decoder
+// recognizes but does not implement (T.81 table B.1).
+func unsupportedFrameName(m byte) string {
+	switch m {
+	case 0xC3:
+		return "SOF3 (lossless sequential, Huffman coding)"
+	case 0xC5:
+		return "SOF5 (differential sequential, Huffman coding)"
+	case 0xC6:
+		return "SOF6 (differential progressive, Huffman coding)"
+	case 0xC7:
+		return "SOF7 (differential lossless, Huffman coding)"
+	case 0xC8:
+		return "JPG (reserved for JPEG extensions)"
+	case 0xC9:
+		return "SOF9 (extended sequential, arithmetic coding)"
+	case 0xCA:
+		return "SOF10 (progressive, arithmetic coding)"
+	case 0xCB:
+		return "SOF11 (lossless, arithmetic coding)"
+	case 0xCC:
+		return "DAC (arithmetic conditioning)"
+	case 0xCD:
+		return "SOF13 (differential sequential, arithmetic coding)"
+	case 0xCE:
+		return "SOF14 (differential progressive, arithmetic coding)"
+	case 0xCF:
+		return "SOF15 (differential lossless, arithmetic coding)"
+	}
+	return fmt.Sprintf("marker %#02x", m)
+}
 
 // Subsampling selects the chroma layout of color images.
 type Subsampling int
@@ -265,9 +323,18 @@ type component struct {
 	coefs            [][64]int32  // quantized coefficients per block, natural order
 	table            qtable.Table // dequantization table (decoder)
 	// inv is table with the inverse engine's prescale factors folded in,
-	// built once per scan (decoder) so the per-block dequantize loop is a
+	// built once per frame (decoder) so the per-block dequantize loop is a
 	// single multiply per coefficient.
 	inv qtable.InvScaled
+
+	// Decoder per-frame scan state. scanned marks components that took
+	// part in at least one scan; primed marks coefficient grids that hold
+	// only this decode's data (pooled grids retain the previous image's
+	// coefficients, so any scan that does not overwrite every block —
+	// non-interleaved walks skip the MCU padding, progressive scans
+	// accumulate — must zero the grid first).
+	scanned bool
+	primed  bool
 }
 
 // quantizeTieEps is the half-width of the rounding-boundary snap band in

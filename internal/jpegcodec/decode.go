@@ -12,9 +12,9 @@ import (
 	"repro/internal/qtable"
 )
 
-// Decoded holds the result of decoding a baseline JPEG stream together
-// with the coding metadata the DeepN-JPEG tooling inspects. A Decoded can
-// be reused across decodes through DecodeInto, which recycles its planes,
+// Decoded holds the result of decoding a JPEG stream together with the
+// coding metadata the DeepN-JPEG tooling inspects. A Decoded can be
+// reused across decodes through DecodeInto, which recycles its planes,
 // coefficient grids and table map instead of reallocating them — the
 // allocation-free steady state batch transcode loops rely on.
 type Decoded struct {
@@ -45,8 +45,14 @@ type Decoded struct {
 	QuantTables map[int]qtable.Table
 	// Sampling describes the chroma layout of 3-component images.
 	Sampling Subsampling
-	// RestartInterval is the parsed DRI value (0 when absent).
+	// RestartInterval is the parsed DRI value in effect for the last
+	// scan (0 when absent).
 	RestartInterval int
+	// Progressive records that the source was a progressive (SOF2)
+	// frame assembled from multiple scans. The decoded coefficients and
+	// pixels are in the same representation as a baseline decode —
+	// Requantize on a progressive source emits baseline output.
+	Progressive bool
 
 	// Metadata holds the stream's APPn/COM segments in order of
 	// appearance; Requantize re-emits them by default so EXIF/ICC
@@ -63,6 +69,7 @@ func (d *Decoded) Reset() {
 	d.W, d.H, d.Components = 0, 0, 0
 	d.Sampling = 0
 	d.RestartInterval = 0
+	d.Progressive = false
 	d.maxH, d.maxV = 0, 0
 	d.Metadata = d.Metadata[:0]
 	d.metaBuf = d.metaBuf[:0]
@@ -160,8 +167,25 @@ type DecodeOptions struct {
 	// pay for the fan-out); 1 or any negative value forces the
 	// sequential path; values ≥ 2 force that many workers, capped at the
 	// segment count. The set of accepted streams and the decoded output
-	// are identical either way.
+	// are identical either way. Sharding applies only to baseline fully
+	// interleaved scans; progressive and non-interleaved scans always
+	// decode sequentially (see shard.go for the guard's rationale).
 	ShardWorkers int
+}
+
+// frame is the per-image state that persists across scans: the geometry
+// from the SOF header and the components whose full-image coefficient
+// planes every scan accumulates into. Baseline frames complete in one
+// (interleaved) scan or one scan per component; progressive frames
+// spread the coefficient data over many DC/AC first/refinement scans.
+// Either way reconstruction runs once, over the finished planes.
+type frame struct {
+	w, h         int
+	progressive  bool
+	maxH, maxV   int // frame maximum sampling factors
+	mcusX, mcusY int // interleaved MCU grid
+	comps        []*component
+	nScans       int // completed scans (entropy data fully decoded)
 }
 
 // decoder carries parsing state. Decoders are pooled: every field either
@@ -174,16 +198,25 @@ type decoder struct {
 	dst   *Decoded
 	xf    dct.Transform
 
+	frame frame // per-image state shared by all scans
+
 	huff      [8]*decTable // index: class<<2 | id; nil until defined
 	huffStore [8]decTable  // backing storage, value buffers reused
-	comps     []*component // backed by compArr via compRefs
-	compArr   [3]component
+	compArr   [3]component // backing for frame.comps via compRefs
 	compRefs  [3]*component
-	payload   []byte // reusable segment payload buffer
-	w, h      int
-	ri        int // restart interval in MCUs
-	maxPixels int // reject frames larger than this (0 = unlimited)
-	shard     int // ShardWorkers request for restart-sharded decoding
+	scanComps [4]*component // scratch for the current scan's component list
+	payload   []byte        // reusable segment payload buffer
+	ri        int           // restart interval in MCUs
+	maxPixels int           // reject frames larger than this (0 = unlimited)
+	shard     int           // ShardWorkers request for restart-sharded decoding
+
+	// eobRun is the progressive AC decoders' pending end-of-band run:
+	// the number of further blocks (beyond the current one) whose band
+	// is already over. It never crosses a scan or restart boundary.
+	eobRun int32
+	// reconWorkers is > 1 when the scan's entropy data decoded sharded;
+	// finishFrame then reconstructs with the same fan-out.
+	reconWorkers int
 
 	// Sharded-decode scratch, retained across decodes: the raw scan
 	// bytes, the segment end offsets within them, and the derived
@@ -219,21 +252,25 @@ func (d *decoder) release() {
 	d.quant = nil
 	d.dst = nil
 	d.xf = 0
+	d.frame = frame{}
 	d.huff = [8]*decTable{}
 	d.compArr = [3]component{}
 	d.compRefs = [3]*component{}
-	d.comps = nil
-	d.w, d.h, d.ri = 0, 0, 0
+	d.scanComps = [4]*component{}
+	d.ri = 0
 	d.maxPixels = 0
 	d.shard = 0
+	d.eobRun = 0
+	d.reconWorkers = 0
 	d.segs = d.segs[:0]
 	d.metaSpans = d.metaSpans[:0]
 	decoderPool.Put(d)
 }
 
-// Decode parses a baseline sequential JFIF/JPEG stream with default
-// options. Progressive and arithmetic-coded streams are rejected with an
-// error.
+// Decode parses a baseline sequential (interleaved or not) or
+// progressive JFIF/JPEG stream with default options. Arithmetic-coded,
+// lossless and hierarchical streams are rejected with
+// UnsupportedFormatError.
 func Decode(r io.Reader) (*Decoded, error) {
 	out := &Decoded{}
 	if err := DecodeInto(r, out, nil); err != nil {
@@ -242,7 +279,7 @@ func Decode(r io.Reader) (*Decoded, error) {
 	return out, nil
 }
 
-// DecodeInto parses a baseline sequential JFIF/JPEG stream into dst,
+// DecodeInto parses a baseline or progressive JFIF/JPEG stream into dst,
 // reusing dst's planes, coefficient grids and table map when their
 // capacity suffices. It is the allocation-free steady-state decode path:
 // a caller that decodes many streams through one (per-worker) Decoded
@@ -280,6 +317,11 @@ func DecodeInto(r io.Reader, dst *Decoded, opts *DecodeOptions) error {
 	return err
 }
 
+// run is the marker loop. Scans hand back the marker that terminated
+// their entropy data (pending), so a multi-scan stream — progressive or
+// non-interleaved baseline — keeps parsing DHT/DQT/DRI/SOS segments
+// between scans until EOI (or a clean end of input) triggers the single
+// reconstruction pass.
 func (d *decoder) run() error {
 	m, err := d.readMarkerByte()
 	if err != nil {
@@ -288,20 +330,31 @@ func (d *decoder) run() error {
 	if m != mSOI {
 		return fmt.Errorf("jpegcodec: missing SOI, found %#02x", m)
 	}
+	var pending byte // marker already consumed by a scan's entropy reader
 	for {
-		m, err := d.readMarkerByte()
-		if err != nil {
-			return err
-		}
-		switch {
-		case m == mSOF0 || m == mSOF1:
-			if err := d.parseSOF(); err != nil {
+		m := pending
+		pending = 0
+		if m == 0 {
+			var err error
+			m, err = d.readMarkerByte()
+			if err != nil {
+				// A stream that simply ends after a completed scan still
+				// decodes — the historical tolerance for a missing EOI.
+				if d.frame.nScans > 0 && errors.Is(err, io.EOF) {
+					return d.finishFrame()
+				}
 				return err
 			}
-		case m == mSOF2:
-			return errors.New("jpegcodec: progressive JPEG not supported")
-		case m >= 0xC3 && m <= 0xCF && m != mDHT && m != 0xC8:
-			return fmt.Errorf("jpegcodec: unsupported frame type %#02x", m)
+		}
+		switch {
+		case m == mSOF0 || m == mSOF1 || m == mSOF2:
+			if err := d.parseSOF(m == mSOF2); err != nil {
+				return err
+			}
+		case m >= 0xC3 && m <= 0xCF && m != mDHT:
+			// Lossless, hierarchical/differential and arithmetic-coded
+			// frame families (plus DAC and the reserved JPG marker).
+			return &UnsupportedFormatError{Marker: m, Name: unsupportedFrameName(m)}
 		case m == mDQT:
 			if err := d.parseDQT(); err != nil {
 				return err
@@ -315,14 +368,28 @@ func (d *decoder) run() error {
 				return err
 			}
 		case m == mSOS:
-			if err := d.parseSOSAndScan(); err != nil {
+			next, err := d.decodeScan()
+			if err != nil {
 				return err
 			}
-			return d.finish()
+			// A baseline frame whose components are all fully coded is
+			// complete — return without inspecting the trailing bytes,
+			// matching the single-scan decoder this loop generalizes. A
+			// scan that ran out of input (next == 0) also ends the image.
+			if d.frameDone() || next == 0 {
+				return d.finishFrame()
+			}
+			pending = next
 		case m == mEOI:
-			return errors.New("jpegcodec: EOI before scan data")
+			if d.frame.nScans == 0 {
+				return errors.New("jpegcodec: EOI before scan data")
+			}
+			return d.finishFrame()
 		case m == mSOI:
 			return errors.New("jpegcodec: unexpected second SOI")
+		case (m >= mRST0 && m <= mRST0+7) || m == mTEM:
+			// Bare markers carry no length field; a stray one between
+			// segments is skipped rather than parsed as a segment.
 		case (m >= mAPP0 && m <= mAPP0+0x0F) || m == mCOM:
 			// Record application and comment segments so Requantize can
 			// pass EXIF/ICC/comments through byte-identical.
@@ -336,6 +403,22 @@ func (d *decoder) run() error {
 			}
 		}
 	}
+}
+
+// frameDone reports that every component of a baseline frame has been
+// coded, so no further scan can contribute. Progressive frames are only
+// complete at EOI (or end of input): refinement scans may keep arriving.
+func (d *decoder) frameDone() bool {
+	f := &d.frame
+	if f.progressive || f.nScans == 0 {
+		return false
+	}
+	for _, c := range f.comps {
+		if !c.scanned {
+			return false
+		}
+	}
+	return true
 }
 
 // readMarkerByte scans for the next 0xFF <code> pair, tolerating fill bytes.
@@ -490,12 +573,19 @@ func (d *decoder) parseDRI() error {
 	return nil
 }
 
-func (d *decoder) parseSOF() error {
+// parseSOF reads the frame header and establishes everything every scan
+// shares: component geometry, the interleaved MCU grid, and the
+// full-image pixel and coefficient planes (grown from the destination so
+// repeated DecodeInto calls reuse them). Progressive frames zero their
+// coefficient grids here — scans accumulate bits into them rather than
+// overwriting whole blocks, so pooled leftovers must not shine through.
+func (d *decoder) parseSOF(progressive bool) error {
 	p, err := d.segmentPayload()
 	if err != nil {
 		return err
 	}
-	if d.comps != nil {
+	f := &d.frame
+	if f.comps != nil {
 		return errors.New("jpegcodec: multiple SOF segments")
 	}
 	if len(p) < 6 {
@@ -504,19 +594,20 @@ func (d *decoder) parseSOF() error {
 	if p[0] != 8 {
 		return fmt.Errorf("jpegcodec: unsupported sample precision %d", p[0])
 	}
-	d.h = int(p[1])<<8 | int(p[2])
-	d.w = int(p[3])<<8 | int(p[4])
+	f.h = int(p[1])<<8 | int(p[2])
+	f.w = int(p[3])<<8 | int(p[4])
+	f.progressive = progressive
 	n := int(p[5])
 	if n != 1 && n != 3 {
 		return fmt.Errorf("jpegcodec: unsupported component count %d", n)
 	}
-	if d.w == 0 || d.h == 0 {
+	if f.w == 0 || f.h == 0 {
 		return errors.New("jpegcodec: zero frame dimensions")
 	}
 	// Division form: both dimensions can be 65535, whose product
 	// overflows int on 32-bit platforms and would wrap past the cap.
-	if d.maxPixels > 0 && (d.h > d.maxPixels || d.w > d.maxPixels/d.h) {
-		return fmt.Errorf("jpegcodec: frame %dx%d exceeds the %d-pixel decode limit", d.w, d.h, d.maxPixels)
+	if d.maxPixels > 0 && (f.h > d.maxPixels || f.w > d.maxPixels/f.h) {
+		return fmt.Errorf("jpegcodec: frame %dx%d exceeds the %d-pixel decode limit", f.w, f.h, d.maxPixels)
 	}
 	if len(p) < 6+3*n {
 		return errors.New("jpegcodec: truncated SOF components")
@@ -553,7 +644,39 @@ func (d *decoder) parseSOF() error {
 			return fmt.Errorf("jpegcodec: %d blocks per MCU exceeds the baseline limit 10", blocks)
 		}
 	}
-	d.comps = d.compRefs[:n]
+	f.comps = d.compRefs[:n]
+
+	maxH, maxV := 1, 1
+	for _, c := range f.comps {
+		maxH = max(maxH, c.h)
+		maxV = max(maxV, c.v)
+	}
+	// Every real encoder gives component 0 (luma) the maximum sampling
+	// factors; the pixel-reconstruction paths assume its plane is
+	// full-resolution, so reject the degenerate layouts where it is not.
+	if f.comps[0].h != maxH || f.comps[0].v != maxV {
+		return fmt.Errorf("jpegcodec: component 0 sampling %dx%d below frame maximum %dx%d",
+			f.comps[0].h, f.comps[0].v, maxH, maxV)
+	}
+	f.maxH, f.maxV = maxH, maxV
+	f.mcusX = (f.w + 8*maxH - 1) / (8 * maxH)
+	f.mcusY = (f.h + 8*maxV - 1) / (8 * maxV)
+	for i, c := range f.comps {
+		c.w = (f.w*c.h + maxH - 1) / maxH
+		c.hgt = (f.h*c.v + maxV - 1) / maxV
+		c.blocksX = f.mcusX * c.h
+		c.blocksY = f.mcusY * c.v
+		// Output buffers come from the destination so repeated DecodeInto
+		// calls reuse them.
+		c.pix = imgutil.GrowBytes(d.dst.planes[i].pix, c.w*c.hgt)
+		d.dst.planes[i].pix = c.pix
+		c.coefs = growCoefs(d.dst.coefs[i], c.blocksX*c.blocksY)
+		d.dst.coefs[i] = c.coefs
+		if progressive {
+			zeroCoefs(c.coefs)
+			c.primed = true
+		}
+	}
 	return nil
 }
 
@@ -574,145 +697,222 @@ func receiveExtend(br *bitio.Reader, s int) (int32, error) {
 	return v, nil
 }
 
-func (d *decoder) parseSOSAndScan() error {
-	if d.comps == nil {
-		return errors.New("jpegcodec: SOS before SOF")
+// decodeScan parses one SOS header, validates it against the frame type,
+// and dispatches the entropy data to the matching scan decoder:
+// baseline interleaved (the only shardable shape), baseline
+// non-interleaved, or the progressive DC/AC first/refinement walks. It
+// returns the marker that terminated the scan's entropy data (0 when the
+// stream ended instead) so the marker loop can keep going on multi-scan
+// streams.
+func (d *decoder) decodeScan() (byte, error) {
+	f := &d.frame
+	if f.comps == nil {
+		return 0, errors.New("jpegcodec: SOS before SOF")
 	}
 	p, err := d.segmentPayload()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(p) < 1 {
-		return errors.New("jpegcodec: truncated SOS")
+		return 0, errors.New("jpegcodec: truncated SOS")
 	}
 	ns := int(p[0])
-	if ns != len(d.comps) {
-		return fmt.Errorf("jpegcodec: scan has %d components, frame has %d (partial scans unsupported)", ns, len(d.comps))
+	if ns < 1 || ns > 4 {
+		return 0, fmt.Errorf("jpegcodec: scan declares %d components", ns)
+	}
+	if ns > len(f.comps) {
+		return 0, fmt.Errorf("jpegcodec: scan has %d components, frame has %d", ns, len(f.comps))
 	}
 	if len(p) < 1+2*ns+3 {
-		return errors.New("jpegcodec: truncated SOS payload")
+		return 0, errors.New("jpegcodec: truncated SOS payload")
 	}
+	scomps := d.scanComps[:0]
 	for i := 0; i < ns; i++ {
 		cs := p[1+2*i]
 		var c *component
-		for _, cand := range d.comps {
+		for _, cand := range f.comps {
 			if cand.id == cs {
 				c = cand
 				break
 			}
 		}
 		if c == nil {
-			return fmt.Errorf("jpegcodec: scan references unknown component %d", cs)
+			return 0, fmt.Errorf("jpegcodec: scan references unknown component %d", cs)
+		}
+		for _, prev := range scomps {
+			if prev == c {
+				return 0, fmt.Errorf("jpegcodec: duplicate component %d in scan", cs)
+			}
 		}
 		c.td = int(p[2+2*i] >> 4)
 		c.ta = int(p[2+2*i] & 0x0F)
 		if c.td > 3 || c.ta > 3 {
-			return fmt.Errorf("jpegcodec: huffman table ids %d/%d exceed baseline limit 3", c.td, c.ta)
+			return 0, fmt.Errorf("jpegcodec: huffman table ids %d/%d exceed baseline limit 3", c.td, c.ta)
 		}
+		scomps = append(scomps, c)
 	}
-	ss, se := p[1+2*ns], p[2+2*ns]
-	if ss != 0 || se != 63 {
-		return fmt.Errorf("jpegcodec: spectral selection %d..%d unsupported (baseline only)", ss, se)
+	ss := int(p[1+2*ns])
+	se := int(p[2+2*ns])
+	ah := int(p[3+2*ns] >> 4)
+	al := int(p[3+2*ns] & 0x0F)
+	f.nScans++
+	for _, c := range scomps {
+		c.scanned = true
 	}
 
-	maxH, maxV := 1, 1
-	for _, c := range d.comps {
-		maxH = max(maxH, c.h)
-		maxV = max(maxV, c.v)
-	}
-	// Every real encoder gives component 0 (luma) the maximum sampling
-	// factors; the pixel-reconstruction paths assume its plane is
-	// full-resolution, so reject the degenerate layouts where it is not.
-	if d.comps[0].h != maxH || d.comps[0].v != maxV {
-		return fmt.Errorf("jpegcodec: component 0 sampling %dx%d below frame maximum %dx%d",
-			d.comps[0].h, d.comps[0].v, maxH, maxV)
-	}
-	mcusX := (d.w + 8*maxH - 1) / (8 * maxH)
-	mcusY := (d.h + 8*maxV - 1) / (8 * maxV)
-	for i, c := range d.comps {
-		c.w = (d.w*c.h + maxH - 1) / maxH
-		c.hgt = (d.h*c.v + maxV - 1) / maxV
-		c.blocksX = mcusX * c.h
-		c.blocksY = mcusY * c.v
-		// Output buffers come from the destination so repeated DecodeInto
-		// calls reuse them; the scan overwrites every element.
-		c.pix = imgutil.GrowBytes(d.dst.planes[i].pix, c.w*c.hgt)
-		d.dst.planes[i].pix = c.pix
-		c.coefs = growCoefs(d.dst.coefs[i], c.blocksX*c.blocksY)
-		d.dst.coefs[i] = c.coefs
-		tbl, ok := d.quant[c.tq]
-		if !ok {
-			return fmt.Errorf("jpegcodec: missing quantization table %d", c.tq)
+	if !f.progressive {
+		if ss != 0 || se != 63 || ah != 0 || al != 0 {
+			return 0, fmt.Errorf("jpegcodec: baseline scan with Ss=%d Se=%d Ah=%d Al=%d (progressive scan parameters need a SOF2 frame)", ss, se, ah, al)
 		}
-		c.table = tbl
-		// Fold the inverse engine's prescale into the dequantize
-		// multipliers once per scan; reconstructBlock then runs one
-		// multiply per coefficient with no prescale pass.
-		tbl.InvScaledInto(&c.inv, d.xf)
+		if ns == len(f.comps) {
+			// The classic fully interleaved scan; every block of every
+			// component is coded (and zeroed as it decodes), and this is
+			// the only scan shape the restart-sharded entropy path
+			// handles (see shard.go).
+			for _, c := range scomps {
+				c.primed = true
+			}
+			if nw := shardWorkersFor(d.shard, d.ri, f.mcusX*f.mcusY); nw > 1 {
+				return d.scanSharded(scomps, nw)
+			}
+			return d.scanBaseline(scomps, true)
+		}
+		if ns == 1 {
+			// Non-interleaved: the scan walks the component's unpadded
+			// block grid, leaving MCU-padding blocks untouched — zero the
+			// grid so pooled leftovers cannot leak into reconstruction.
+			d.primeComponent(scomps[0])
+			return d.scanBaseline(scomps, false)
+		}
+		// A partial interleave (a strict subset of the components, ns ≥ 2):
+		// the MCU walk covers each member's full padded grid.
+		for _, c := range scomps {
+			c.primed = true
+		}
+		return d.scanBaseline(scomps, true)
 	}
 
-	if nw := shardWorkersFor(d.shard, d.ri, mcusX*mcusY); nw > 1 {
-		return d.scanSharded(mcusX, mcusY, nw)
+	// Progressive scan-header validation (T.81 G.1): a DC scan selects
+	// exactly coefficient 0 and may interleave; an AC scan selects a
+	// band 1..63 of a single component. A refinement scan narrows the
+	// point transform by exactly one bit.
+	switch {
+	case ss == 0 && se != 0:
+		return 0, fmt.Errorf("jpegcodec: progressive DC scan with Se=%d (want 0)", se)
+	case ss > 0 && (se < ss || se > 63):
+		return 0, fmt.Errorf("jpegcodec: bad spectral selection %d..%d", ss, se)
+	case ss > 0 && ns != 1:
+		return 0, fmt.Errorf("jpegcodec: progressive AC scan interleaves %d components", ns)
+	case ah > 13 || al > 13:
+		return 0, fmt.Errorf("jpegcodec: successive approximation %d/%d out of range", ah, al)
+	case ah != 0 && ah != al+1:
+		return 0, fmt.Errorf("jpegcodec: refinement scan Ah=%d does not extend Al=%d", ah, al)
 	}
-	return d.scanSequential(mcusX, mcusY)
+	return d.scanProgressive(scomps, ss, se, ah, al)
 }
 
-// scanSequential entropy-decodes the scan MCU by MCU on the calling
-// goroutine, then reconstructs pixels in batched block rows. Restart
-// markers must appear in their defined D0..D7 cycle — a stream whose
-// markers are out of sequence has lost or reordered segments, and
-// decoding past the desync would silently produce garbage pixels.
-func (d *decoder) scanSequential(mcusX, mcusY int) error {
+// primeComponent zeroes a component's pooled coefficient grid once per
+// decode, before the first scan that does not overwrite every block.
+func (d *decoder) primeComponent(c *component) {
+	if c.primed {
+		return
+	}
+	zeroCoefs(c.coefs)
+	c.primed = true
+}
+
+// scanRestart consumes one restart marker, enforcing the D0..D7 cycle —
+// a stream whose markers are out of sequence has lost or reordered
+// segments, and decoding past the desync would silently produce garbage
+// pixels — and resets the entropy state that must not cross a restart
+// boundary: DC predictors and any pending EOB run.
+func (d *decoder) scanRestart(rst *int, prevDC *[4]int32) error {
+	m, err := d.bits.ReadMarker()
+	if err != nil {
+		return fmt.Errorf("jpegcodec: reading restart marker: %w", err)
+	}
+	if m != byte(mRST0+*rst) {
+		return fmt.Errorf("jpegcodec: expected RST%d, found %#02x", *rst, m)
+	}
+	*rst = (*rst + 1) % 8
+	*prevDC = [4]int32{}
+	d.eobRun = 0
+	return nil
+}
+
+// scanEnd reads the marker that terminated the scan's entropy data,
+// returning 0 when the stream ends (or desyncs) there instead — a
+// completed scan with a missing terminator still decodes, preserving the
+// historical tolerance for streams truncated after the last MCU.
+func (d *decoder) scanEnd() byte {
+	m, err := d.bits.ReadMarker()
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// scanBaseline entropy-decodes one baseline scan on the calling
+// goroutine. An interleaved scan walks the frame MCU grid in the scan
+// header's component order; a non-interleaved (single-component) scan
+// walks the component's unpadded block grid, one block per MCU, with
+// restart intervals counted in those units (T.81 A.2.2).
+func (d *decoder) scanBaseline(scomps []*component, interleaved bool) (byte, error) {
+	f := &d.frame
+	for _, c := range scomps {
+		if d.huff[0<<2|c.td] == nil || d.huff[1<<2|c.ta] == nil {
+			return 0, fmt.Errorf("jpegcodec: missing huffman tables %d/%d", c.td, c.ta)
+		}
+	}
 	br := d.bits
 	br.Reset(d.br)
-	var prevDC [4]int32 // indexed by component position in comps
+	var prevDC [4]int32 // indexed by component position in the scan
 	rst := 0            // expected index of the next restart marker
-	total := mcusX * mcusY
+	c0 := scomps[0]
+	total, sbw := f.mcusX*f.mcusY, 0
+	if !interleaved {
+		sbw = (c0.w + 7) / 8
+		total = sbw * ((c0.hgt + 7) / 8)
+	}
 	for mcu := 0; mcu < total; mcu++ {
-		my, mx := mcu/mcusX, mcu%mcusX
 		if d.ri > 0 && mcu > 0 && mcu%d.ri == 0 {
-			m, err := br.ReadMarker()
-			if err != nil {
-				return fmt.Errorf("jpegcodec: reading restart marker: %w", err)
+			if err := d.scanRestart(&rst, &prevDC); err != nil {
+				return 0, err
 			}
-			if m != byte(mRST0+rst) {
-				return fmt.Errorf("jpegcodec: expected RST%d, found %#02x", rst, m)
-			}
-			rst = (rst + 1) % 8
-			prevDC = [4]int32{}
 		}
-		for ci, c := range d.comps {
-			dcTab := d.huff[0<<2|c.td]
-			acTab := d.huff[1<<2|c.ta]
-			if dcTab == nil || acTab == nil {
-				return fmt.Errorf("jpegcodec: missing huffman tables %d/%d", c.td, c.ta)
-			}
-			for vy := 0; vy < c.v; vy++ {
-				for vx := 0; vx < c.h; vx++ {
-					bx, by := mx*c.h+vx, my*c.v+vy
-					coefs := &c.coefs[by*c.blocksX+bx]
-					if err := decodeBlockInto(br, dcTab, acTab, prevDC[ci], coefs); err != nil {
-						return err
+		if interleaved {
+			my, mx := mcu/f.mcusX, mcu%f.mcusX
+			for ci, c := range scomps {
+				dcTab := d.huff[0<<2|c.td]
+				acTab := d.huff[1<<2|c.ta]
+				for vy := 0; vy < c.v; vy++ {
+					for vx := 0; vx < c.h; vx++ {
+						bx, by := mx*c.h+vx, my*c.v+vy
+						coefs := &c.coefs[by*c.blocksX+bx]
+						if err := decodeBlockInto(br, dcTab, acTab, prevDC[ci], coefs); err != nil {
+							return 0, err
+						}
+						prevDC[ci] = coefs[0]
 					}
-					prevDC[ci] = coefs[0]
 				}
 			}
+			continue
 		}
+		by, bx := mcu/sbw, mcu%sbw
+		coefs := &c0.coefs[by*c0.blocksX+bx]
+		if err := decodeBlockInto(br, d.huff[0<<2|c0.td], d.huff[1<<2|c0.ta], prevDC[0], coefs); err != nil {
+			return 0, err
+		}
+		prevDC[0] = coefs[0]
 	}
-	// Consume the trailing EOI (tolerate a missing one).
-	if m, err := br.ReadMarker(); err == nil && m != mEOI {
-		// DNL or other trailing markers are ignored.
-		_ = m
-	}
-	d.reconstructSequential()
-	return nil
+	return d.scanEnd(), nil
 }
 
 // reconstructSequential runs the batched inverse stage over every
 // component on the calling goroutine, reusing the decoder's retained
 // plane.
 func (d *decoder) reconstructSequential() {
-	for _, c := range d.comps {
+	for _, c := range d.frame.comps {
 		d.plane = growFloats(d.plane, c.blocksX*64)
 		for by := 0; by < c.blocksY; by++ {
 			reconstructBlockRow(c, by, d.plane, d.xf)
@@ -764,23 +964,52 @@ func decodeBlockInto(br *bitio.Reader, dcTab, acTab *decTable, prevDC int32, coe
 	return nil
 }
 
+// finishFrame runs once per image, after the last scan: it zero-fills
+// the grids of components no scan touched, binds the dequantization
+// tables in effect at the end of the stream, reconstructs pixels with
+// the batched inverse stage — sharded with the entropy decoder's
+// fan-out when the scan decoded sharded — and publishes the result.
+func (d *decoder) finishFrame() error {
+	f := &d.frame
+	for _, c := range f.comps {
+		if !c.primed {
+			// No scan carried this component; it reconstructs as a flat
+			// mid-gray plane rather than pooled leftovers.
+			zeroCoefs(c.coefs)
+			c.primed = true
+		}
+		tbl, ok := d.quant[c.tq]
+		if !ok {
+			return fmt.Errorf("jpegcodec: missing quantization table %d", c.tq)
+		}
+		c.table = tbl
+		// Fold the inverse engine's prescale into the dequantize
+		// multipliers once per frame; reconstructBlockRow then runs one
+		// multiply per coefficient with no prescale pass.
+		tbl.InvScaledInto(&c.inv, d.xf)
+	}
+	if d.reconWorkers > 1 {
+		d.reconstructSharded(d.reconWorkers)
+	} else {
+		d.reconstructSequential()
+	}
+	return d.finish()
+}
+
 // finish publishes the parsed state into the destination.
 func (d *decoder) finish() error {
 	out := d.dst
-	out.W = d.w
-	out.H = d.h
-	out.Components = len(d.comps)
+	f := &d.frame
+	out.W = f.w
+	out.H = f.h
+	out.Components = len(f.comps)
 	out.RestartInterval = d.ri
-	maxH, maxV := 1, 1
-	for _, c := range d.comps {
-		maxH = max(maxH, c.h)
-		maxV = max(maxV, c.v)
+	out.Progressive = f.progressive
+	out.maxH, out.maxV = f.maxH, f.maxV
+	if len(f.comps) == 3 {
+		out.Sampling = classifySampling(f.comps)
 	}
-	out.maxH, out.maxV = maxH, maxV
-	if len(d.comps) == 3 {
-		out.Sampling = classifySampling(d.comps)
-	}
-	for i, c := range d.comps {
+	for i, c := range f.comps {
 		out.planes[i].w = c.w
 		out.planes[i].h = c.hgt
 		out.planes[i].hs = c.h

@@ -1,0 +1,412 @@
+package jpegcodec
+
+// Stream inspection: a lightweight marker walker that reports a JPEG's
+// structure — every marker segment with offset and length, the frame
+// header, and each scan's spectral-selection/successive-approximation
+// parameters and component→table bindings — without entropy-decoding
+// anything. Unlike Decode it is deliberately tolerant: frames this
+// decoder rejects (arithmetic coding, lossless, hierarchical) still
+// inspect fine, which is exactly when a structure dump is most useful.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SegmentInfo is one marker in stream order.
+type SegmentInfo struct {
+	Offset int64 // byte offset of the marker's 0xFF
+	Marker byte
+	Name   string // e.g. "SOF2 (progressive DCT)", "APP0", "RST3"
+	Length int    // payload bytes after the 2 length bytes; -1 for bare markers
+	Detail string // human-readable payload summary ("" when there is none)
+}
+
+// FrameComponent is one SOF component entry.
+type FrameComponent struct {
+	ID   byte
+	H, V int // sampling factors
+	Tq   int // quantization table id
+}
+
+// FrameInfo is the parsed SOF header.
+type FrameInfo struct {
+	Marker      byte
+	Name        string
+	Precision   int
+	Width       int
+	Height      int
+	Progressive bool
+	Supported   bool // true for the coding processes Decode handles (SOF0/1/2)
+	Components  []FrameComponent
+}
+
+// ScanComponent is one SOS component entry: the component id and its
+// DC/AC Huffman table selectors.
+type ScanComponent struct {
+	ID     byte
+	Td, Ta int
+}
+
+// ScanInfo is one SOS header plus the restart interval in effect for
+// that scan and the size of its entropy-coded payload.
+type ScanInfo struct {
+	Offset          int64
+	Components      []ScanComponent
+	Ss, Se, Ah, Al  int
+	RestartInterval int
+	EntropyBytes    int64 // entropy-coded data incl. RSTn markers
+}
+
+// StreamInfo is the result of Inspect.
+type StreamInfo struct {
+	Segments []SegmentInfo
+	Frame    *FrameInfo // nil if the walk ended before a SOF
+	Scans    []ScanInfo
+}
+
+// markerName names every T.81 marker, folding the frame types this
+// decoder rejects through the same descriptions UnsupportedFormatError
+// uses.
+func markerName(m byte) string {
+	switch {
+	case m == mSOI:
+		return "SOI"
+	case m == mEOI:
+		return "EOI"
+	case m == mSOS:
+		return "SOS"
+	case m == mDHT:
+		return "DHT"
+	case m == mDQT:
+		return "DQT"
+	case m == mDRI:
+		return "DRI"
+	case m == mCOM:
+		return "COM"
+	case m == mTEM:
+		return "TEM"
+	case m == 0xDC:
+		return "DNL"
+	case m == mSOF0:
+		return "SOF0 (baseline DCT)"
+	case m == mSOF1:
+		return "SOF1 (extended sequential DCT)"
+	case m == mSOF2:
+		return "SOF2 (progressive DCT)"
+	case m >= 0xC3 && m <= 0xCF:
+		return unsupportedFrameName(m)
+	case m >= mAPP0 && m <= mAPP0+15:
+		return fmt.Sprintf("APP%d", m-mAPP0)
+	case m >= mRST0 && m <= mRST0+7:
+		return fmt.Sprintf("RST%d", m-mRST0)
+	default:
+		return fmt.Sprintf("marker %#02x", m)
+	}
+}
+
+// inspectReader tracks the byte offset of a buffered stream.
+type inspectReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (r *inspectReader) readByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.off++
+	}
+	return b, err
+}
+
+// Inspect walks r's marker structure. It returns whatever was parsed
+// even on error, so a truncated or partially unsupported stream still
+// yields its readable prefix; only a missing SOI is fatal from the
+// start. Entropy-coded data is skipped byte-wise (never decoded), so
+// streams whose coding process Decode rejects inspect completely.
+func Inspect(r io.Reader) (*StreamInfo, error) {
+	ir := &inspectReader{br: bufio.NewReader(r)}
+	info := &StreamInfo{}
+	b0, err := ir.readByte()
+	if err != nil {
+		return info, fmt.Errorf("jpegcodec: inspect: %w", err)
+	}
+	b1, err := ir.readByte()
+	if err != nil {
+		return info, fmt.Errorf("jpegcodec: inspect: %w", err)
+	}
+	if b0 != 0xFF || b1 != mSOI {
+		return info, fmt.Errorf("jpegcodec: inspect: missing SOI marker")
+	}
+	info.Segments = append(info.Segments, SegmentInfo{Offset: 0, Marker: mSOI, Name: "SOI", Length: -1})
+	ri := 0
+	var pending byte // marker terminating the last entropy skip
+	var pendingOff int64
+	for {
+		var m byte
+		off := ir.off
+		if pending != 0 {
+			m, off = pending, pendingOff
+			pending = 0
+		} else {
+			var err error
+			if m, err = ir.readMarker(); err != nil {
+				if err == io.EOF {
+					return info, nil
+				}
+				return info, fmt.Errorf("jpegcodec: inspect: %w", err)
+			}
+		}
+		seg := SegmentInfo{Offset: off, Marker: m, Name: markerName(m), Length: -1}
+		switch {
+		case m == mEOI:
+			info.Segments = append(info.Segments, seg)
+			return info, nil
+		case m == mTEM || (m >= mRST0 && m <= mRST0+7):
+			// Bare markers carry no length.
+			info.Segments = append(info.Segments, seg)
+			continue
+		}
+		payload, err := ir.segment()
+		if err != nil {
+			info.Segments = append(info.Segments, seg)
+			return info, fmt.Errorf("jpegcodec: inspect: %s segment: %w", seg.Name, err)
+		}
+		seg.Length = len(payload)
+		switch {
+		case m >= 0xC0 && m <= 0xCF && m != mDHT && m != 0xC8:
+			seg.Detail = info.parseFrame(m, payload)
+		case m == mSOS:
+			detail, scan, perr := parseScanHeader(off, payload, ri)
+			seg.Detail = detail
+			if perr != nil {
+				info.Segments = append(info.Segments, seg)
+				return info, fmt.Errorf("jpegcodec: inspect: %w", perr)
+			}
+			n, next, err := ir.skipEntropy()
+			scan.EntropyBytes = n
+			info.Scans = append(info.Scans, scan)
+			info.Segments = append(info.Segments, seg)
+			if err != nil {
+				if err == io.EOF {
+					return info, nil
+				}
+				return info, fmt.Errorf("jpegcodec: inspect: %w", err)
+			}
+			pending, pendingOff = next, ir.off-2
+			continue
+		case m == mDRI:
+			if len(payload) >= 2 {
+				ri = int(payload[0])<<8 | int(payload[1])
+				seg.Detail = fmt.Sprintf("interval %d", ri)
+			}
+		case m == mDQT:
+			seg.Detail = dqtDetail(payload)
+		case m == mDHT:
+			seg.Detail = dhtDetail(payload)
+		case (m >= mAPP0 && m <= mAPP0+15) || m == mCOM:
+			seg.Detail = metaDetail(payload)
+		}
+		info.Segments = append(info.Segments, seg)
+	}
+}
+
+// readMarker consumes the 0xFF (plus any fill bytes) and returns the
+// marker code.
+func (r *inspectReader) readMarker() (byte, error) {
+	b, err := r.readByte()
+	if err != nil {
+		return 0, err
+	}
+	if b != 0xFF {
+		return 0, fmt.Errorf("expected marker at offset %d, found %#02x", r.off-1, b)
+	}
+	for b == 0xFF {
+		if b, err = r.readByte(); err != nil {
+			return 0, err
+		}
+	}
+	return b, nil
+}
+
+// segment reads one length-prefixed payload.
+func (r *inspectReader) segment() ([]byte, error) {
+	hi, err := r.readByte()
+	if err != nil {
+		return nil, err
+	}
+	lo, err := r.readByte()
+	if err != nil {
+		return nil, err
+	}
+	n := int(hi)<<8 | int(lo)
+	if n < 2 {
+		return nil, fmt.Errorf("segment length %d below the 2 length bytes", n)
+	}
+	p := make([]byte, n-2)
+	for i := range p {
+		if p[i], err = r.readByte(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// skipEntropy scans past entropy-coded data, counting the bytes it
+// passes, and returns the marker code that terminated it. Stuffed
+// 0xFF00 pairs and RSTn markers belong to the entropy stream: restarts
+// are counted toward EntropyBytes rather than reported as segments, so
+// a heavily restarted scan stays one line in the dump.
+func (r *inspectReader) skipEntropy() (int64, byte, error) {
+	start := r.off
+	for {
+		b, err := r.readByte()
+		if err != nil {
+			return r.off - start, 0, err
+		}
+		if b != 0xFF {
+			continue
+		}
+		m, err := r.readByte()
+		for m == 0xFF && err == nil { // fill bytes
+			m, err = r.readByte()
+		}
+		if err != nil {
+			return r.off - start, 0, err
+		}
+		if m == 0x00 || (m >= mRST0 && m <= mRST0+7) {
+			continue
+		}
+		return r.off - start - 2, m, nil
+	}
+}
+
+// parseFrame records the SOF header and returns its one-line summary.
+func (info *StreamInfo) parseFrame(m byte, p []byte) string {
+	if len(p) < 6 {
+		return "truncated frame header"
+	}
+	f := &FrameInfo{
+		Marker:      m,
+		Name:        markerName(m),
+		Precision:   int(p[0]),
+		Height:      int(p[1])<<8 | int(p[2]),
+		Width:       int(p[3])<<8 | int(p[4]),
+		Progressive: m == mSOF2,
+		Supported:   m == mSOF0 || m == mSOF1 || m == mSOF2,
+	}
+	n := int(p[5])
+	for i := 0; i < n && 6+3*i+2 < len(p); i++ {
+		f.Components = append(f.Components, FrameComponent{
+			ID: p[6+3*i],
+			H:  int(p[7+3*i] >> 4),
+			V:  int(p[7+3*i] & 0x0F),
+			Tq: int(p[8+3*i]),
+		})
+	}
+	if info.Frame == nil {
+		info.Frame = f
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d-bit %dx%d,", f.Precision, f.Width, f.Height)
+	for _, c := range f.Components {
+		fmt.Fprintf(&sb, " C%d %dx%d Q%d", c.ID, c.H, c.V, c.Tq)
+	}
+	return sb.String()
+}
+
+// parseScanHeader decodes an SOS payload into a ScanInfo and its
+// one-line summary.
+func parseScanHeader(off int64, p []byte, ri int) (string, ScanInfo, error) {
+	scan := ScanInfo{Offset: off, RestartInterval: ri}
+	if len(p) < 1 {
+		return "", scan, fmt.Errorf("empty SOS payload")
+	}
+	ns := int(p[0])
+	if len(p) < 1+2*ns+3 {
+		return "", scan, fmt.Errorf("SOS payload too short for %d components", ns)
+	}
+	for i := 0; i < ns; i++ {
+		scan.Components = append(scan.Components, ScanComponent{
+			ID: p[1+2*i],
+			Td: int(p[2+2*i] >> 4),
+			Ta: int(p[2+2*i] & 0x0F),
+		})
+	}
+	scan.Ss = int(p[1+2*ns])
+	scan.Se = int(p[2+2*ns])
+	scan.Ah = int(p[3+2*ns] >> 4)
+	scan.Al = int(p[3+2*ns] & 0x0F)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ss=%d Se=%d Ah=%d Al=%d,", scan.Ss, scan.Se, scan.Ah, scan.Al)
+	for _, c := range scan.Components {
+		fmt.Fprintf(&sb, " C%d DC%d/AC%d", c.ID, c.Td, c.Ta)
+	}
+	if ri > 0 {
+		fmt.Fprintf(&sb, ", restart %d", ri)
+	}
+	return sb.String(), scan, nil
+}
+
+// dqtDetail summarizes a DQT payload's table ids and precisions.
+func dqtDetail(p []byte) string {
+	var parts []string
+	for len(p) > 0 {
+		pq, id := int(p[0]>>4), int(p[0]&0x0F)
+		size := 65
+		label := fmt.Sprintf("Q%d (8-bit)", id)
+		if pq == 1 {
+			size = 129
+			label = fmt.Sprintf("Q%d (16-bit)", id)
+		}
+		if len(p) < size {
+			parts = append(parts, label+" truncated")
+			break
+		}
+		parts = append(parts, label)
+		p = p[size:]
+	}
+	return strings.Join(parts, ", ")
+}
+
+// dhtDetail summarizes a DHT payload's table classes and ids.
+func dhtDetail(p []byte) string {
+	var parts []string
+	for len(p) >= 17 {
+		class, id := int(p[0]>>4), int(p[0]&0x0F)
+		n := 0
+		for _, c := range p[1:17] {
+			n += int(c)
+		}
+		kind := "DC"
+		if class == 1 {
+			kind = "AC"
+		}
+		parts = append(parts, fmt.Sprintf("%s%d (%d codes)", kind, id, n))
+		if len(p) < 17+n {
+			parts[len(parts)-1] += " truncated"
+			break
+		}
+		p = p[17+n:]
+	}
+	return strings.Join(parts, ", ")
+}
+
+// metaDetail labels an APPn/COM payload with its printable tag prefix
+// (JFIF, Exif, ICC_PROFILE, a comment's text, …).
+func metaDetail(p []byte) string {
+	n := 0
+	for n < len(p) && n < 24 && p[n] >= 0x20 && p[n] < 0x7F {
+		n++
+	}
+	if n == 0 {
+		return ""
+	}
+	tag := string(p[:n])
+	if n < len(p) && n < 24 {
+		return fmt.Sprintf("%q", tag)
+	}
+	return fmt.Sprintf("%q…", tag)
+}

@@ -1,0 +1,119 @@
+package jpegcodec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestInspectProgressive checks the walker against a known scan script:
+// every scan's spectral/approximation parameters and component-table
+// bindings must surface, in order, along with the frame header and DRI.
+func TestInspectProgressive(t *testing.T) {
+	c := caseByName(t, "rgb420-dri")
+	info, err := Inspect(bytes.NewReader(c.fixtureStream(t)))
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if info.Frame == nil || !info.Frame.Progressive || !info.Frame.Supported {
+		t.Fatalf("frame = %+v, want supported progressive", info.Frame)
+	}
+	if info.Frame.Width != c.w || info.Frame.Height != c.h || len(info.Frame.Components) != 3 {
+		t.Fatalf("frame geometry %+v", info.Frame)
+	}
+	if y := info.Frame.Components[0]; y.ID != 1 || y.H != 2 || y.V != 2 {
+		t.Fatalf("luma component %+v, want id 1 sampling 2x2", y)
+	}
+	if len(info.Scans) != len(c.script) {
+		t.Fatalf("%d scans inspected, want %d", len(info.Scans), len(c.script))
+	}
+	for i, sc := range c.script {
+		got := info.Scans[i]
+		if got.Ss != sc.ss || got.Se != sc.se || got.Ah != sc.ah || got.Al != sc.al {
+			t.Fatalf("scan %d: Ss/Se/Ah/Al = %d/%d/%d/%d, want %d/%d/%d/%d",
+				i, got.Ss, got.Se, got.Ah, got.Al, sc.ss, sc.se, sc.ah, sc.al)
+		}
+		if len(got.Components) != len(sc.comps) {
+			t.Fatalf("scan %d: %d components, want %d", i, len(got.Components), len(sc.comps))
+		}
+		for j, ci := range sc.comps {
+			if got.Components[j].ID != byte(ci+1) {
+				t.Fatalf("scan %d component %d: id %d, want %d", i, j, got.Components[j].ID, ci+1)
+			}
+		}
+		if got.RestartInterval != c.ri {
+			t.Fatalf("scan %d: restart interval %d, want %d", i, got.RestartInterval, c.ri)
+		}
+		if got.EntropyBytes <= 0 {
+			t.Fatalf("scan %d: entropy bytes %d", i, got.EntropyBytes)
+		}
+	}
+	last := info.Segments[len(info.Segments)-1]
+	if last.Marker != mEOI {
+		t.Fatalf("last segment %s, want EOI", last.Name)
+	}
+}
+
+// TestInspectBaseline: a plain interleaved stream reports one
+// full-band scan and a non-progressive frame.
+func TestInspectBaseline(t *testing.T) {
+	c := &progCase{name: "base", sub: Sub420, w: 32, h: 24, seed: 9}
+	info, err := Inspect(bytes.NewReader(c.baselineStream(t)))
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if info.Frame == nil || info.Frame.Progressive || !info.Frame.Supported {
+		t.Fatalf("frame = %+v", info.Frame)
+	}
+	if len(info.Scans) != 1 {
+		t.Fatalf("%d scans, want 1", len(info.Scans))
+	}
+	if sc := info.Scans[0]; sc.Ss != 0 || sc.Se != 63 || sc.Ah != 0 || sc.Al != 0 || len(sc.Components) != 3 {
+		t.Fatalf("scan %+v, want interleaved 0..63", sc)
+	}
+}
+
+// TestInspectUnsupportedFrame: the walker must finish streams the
+// decoder rejects — that is its whole point. An arithmetic-coded
+// frame (SOF9) inspects with Supported=false while Decode returns
+// UnsupportedFormatError.
+func TestInspectUnsupportedFrame(t *testing.T) {
+	stream := []byte{
+		0xFF, 0xD8, // SOI
+		0xFF, 0xC9, 0x00, 0x0B, 8, 0, 16, 0, 16, 1, 1, 0x11, 0, // SOF9
+		0xFF, 0xDA, 0x00, 0x08, 1, 1, 0x00, 0, 63, 0, // SOS
+		0x12, 0x34, // entropy bytes
+		0xFF, 0xD9, // EOI
+	}
+	info, err := Inspect(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if info.Frame == nil || info.Frame.Supported {
+		t.Fatalf("frame = %+v, want unsupported", info.Frame)
+	}
+	if len(info.Scans) != 1 || info.Scans[0].EntropyBytes != 2 {
+		t.Fatalf("scans = %+v", info.Scans)
+	}
+	var ufe *UnsupportedFormatError
+	if _, err := Decode(bytes.NewReader(stream)); !errors.As(err, &ufe) {
+		t.Fatalf("decode error %v, want UnsupportedFormatError", err)
+	}
+}
+
+// TestInspectErrors: a missing SOI is fatal; a truncated stream
+// returns its readable prefix alongside the error.
+func TestInspectErrors(t *testing.T) {
+	if _, err := Inspect(bytes.NewReader([]byte{0x00, 0x01, 0x02})); err == nil {
+		t.Fatal("inspect accepted a non-JPEG stream")
+	}
+	c := &progCase{name: "trunc", sub: Sub444, w: 16, h: 16, seed: 1}
+	full := c.baselineStream(t)
+	info, err := Inspect(bytes.NewReader(full[:40])) // mid-APP0/DQT
+	if err == nil {
+		t.Fatal("inspect accepted a truncated segment")
+	}
+	if len(info.Segments) == 0 || info.Segments[0].Marker != mSOI {
+		t.Fatalf("partial info lost the prefix: %+v", info.Segments)
+	}
+}

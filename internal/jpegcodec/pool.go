@@ -58,13 +58,25 @@ func (s *encScratch) components(n int) []*component {
 }
 
 // growCoefs returns a coefficient grid of n blocks, reusing b's backing
-// array when it is large enough. Contents are unspecified; every block
-// is fully overwritten by the forward transform.
+// array when it is large enough. Contents are unspecified: the forward
+// transform and interleaved scans overwrite every block, while scan
+// shapes that don't (non-interleaved, progressive) zero the grid first
+// via zeroCoefs.
 func growCoefs(b [][64]int32, n int) [][64]int32 {
 	if cap(b) >= n {
 		return b[:n]
 	}
 	return make([][64]int32, n)
+}
+
+// zeroCoefs clears a recycled coefficient grid. Scans that do not
+// overwrite every block slot — non-interleaved walks skip the MCU
+// padding; progressive scans accumulate bits across scans — must start
+// from zeroed grids instead of the previous decode's leftovers.
+func zeroCoefs(b [][64]int32) {
+	for i := range b {
+		b[i] = [64]int32{}
+	}
 }
 
 // growFloats returns a flat plane of n floats, reusing b's backing

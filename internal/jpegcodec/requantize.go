@@ -15,6 +15,14 @@ import (
 // generation loss. This is how a storage system retrofits DeepN-JPEG
 // tables onto an existing JPEG archive.
 //
+// The source may be any stream the decoder accepts — baseline
+// (interleaved or not) or progressive. Decoding normalizes them all to
+// the same representation, full-image coefficient planes, and
+// Requantize transcodes from those planes; the output is always a
+// baseline sequential interleaved stream, so requantizing a progressive
+// web JPEG also migrates it to the layout the fast sharded decode path
+// handles.
+//
 // The optional mask zeroes bands before recoding (the RM-HF transform).
 // Huffman optimization is honored via opts; subsampling always matches
 // the source stream — any legal baseline factor combination with

@@ -28,6 +28,23 @@ package jpegcodec
 // sequential reader would otherwise trip over leftovers at the next
 // marker), and trailing data after the final segment is tolerated just
 // as the sequential path ignores everything after the last MCU.
+//
+// Sharded entropy decoding is BASELINE-FULLY-INTERLEAVED ONLY, by
+// construction: decodeScan routes only that scan shape here. The guard
+// is structural, not an optimization choice. The equivalence argument
+// above leans on two properties that only hold for a baseline
+// interleaved scan: (1) the scan is the frame's entire entropy payload,
+// so "everything after the final segment's MCU quota" is ignorable —
+// in a progressive or non-interleaved stream the bytes after one scan
+// are the next scan's markers and entropy data, and a byte scan that
+// swallowed them would desynchronize the marker loop; (2) the only
+// coder state crossing block boundaries is the DC predictor, which
+// resets at every RSTn. Progressive AC scans carry a second piece of
+// inter-block state, the EOB run; it also resets at restart markers, so
+// segments remain independently decodable in principle, but property
+// (1) already rules sharding out, and the batched reconstruction stage
+// (shared with the sequential path) is where progressive decode spends
+// its time anyway.
 
 import (
 	"context"
@@ -171,11 +188,14 @@ func writeScanSharded(w io.Writer, comps []*component, enc [4]*encTable, mcusX, 
 // RSTn sequence (expected index mod 8, the same check the sequential
 // path applies) and stops collecting boundaries once expected-1 have
 // been seen: any later marker ends the scan, matching the sequential
-// decoder, which ignores everything after the final MCU.
-func (d *decoder) entropySegments(expected int) ([][]byte, error) {
+// decoder, which ignores everything after the final MCU. The marker
+// that ended the scan is returned alongside (0 at end of input), like
+// the sequential decoder's scanEnd.
+func (d *decoder) entropySegments(expected int) ([][]byte, byte, error) {
 	buf := d.scanBuf[:0]
 	bounds := d.segBounds[:0] // end offset in buf of each segment
 	rst := 0                  // expected index of the next restart marker
+	next := byte(0)           // marker that terminated the scan data
 scan:
 	for {
 		b, err := d.br.ReadByte()
@@ -183,7 +203,7 @@ scan:
 			if err == io.EOF {
 				break // truncated segments surface as EOF in their worker
 			}
-			return nil, err
+			return nil, 0, err
 		}
 		if b != 0xFF {
 			buf = append(buf, b)
@@ -194,7 +214,7 @@ scan:
 			if err == io.EOF {
 				break // dangling 0xFF: the sequential reader EOFs here too
 			}
-			return nil, err
+			return nil, 0, err
 		}
 		for b2 == 0xFF {
 			b2, err = d.br.ReadByte()
@@ -202,7 +222,7 @@ scan:
 				if err == io.EOF {
 					break scan
 				}
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		if b2 == 0x00 {
@@ -212,19 +232,20 @@ scan:
 		// A real marker.
 		if len(bounds)+1 < expected && b2 >= mRST0 && b2 <= mRST0+7 {
 			if b2 != byte(mRST0+rst) {
-				return nil, fmt.Errorf("jpegcodec: expected RST%d, found %#02x", rst, b2)
+				return nil, 0, fmt.Errorf("jpegcodec: expected RST%d, found %#02x", rst, b2)
 			}
 			rst = (rst + 1) % 8
 			bounds = append(bounds, len(buf))
 			continue
 		}
+		next = b2
 		break // EOI, DNL, an out-of-quota RSTn, …: end of scan
 	}
 	bounds = append(bounds, len(buf))
 	d.scanBuf = buf
 	d.segBounds = bounds
 	if len(bounds) != expected {
-		return nil, fmt.Errorf("jpegcodec: scan holds %d restart segments, frame geometry implies %d", len(bounds), expected)
+		return nil, 0, fmt.Errorf("jpegcodec: scan holds %d restart segments, frame geometry implies %d", len(bounds), expected)
 	}
 	segs := d.segs[:0]
 	lo := 0
@@ -233,28 +254,31 @@ scan:
 		lo = hi
 	}
 	d.segs = segs
-	return segs, nil
+	return segs, next, nil
 }
 
-// scanSharded decodes the scan with per-segment parallelism, accepting
-// exactly the streams scanSequential accepts and producing identical
-// output: the byte scan enforces the same RSTn sequencing, each segment
-// decodes with a fresh DC predictor on a pooled segment-bounded reader,
-// and every non-final segment must consume its bytes exactly (leftovers
-// are what the sequential reader would reject at the next marker; data
-// after the final MCU is ignored on both paths).
-func (d *decoder) scanSharded(mcusX, mcusY, workers int) error {
-	for _, c := range d.comps {
+// scanSharded decodes a baseline fully interleaved scan with per-segment
+// parallelism, accepting exactly the streams scanBaseline accepts and
+// producing identical output: the byte scan enforces the same RSTn
+// sequencing, each segment decodes with a fresh DC predictor on a pooled
+// segment-bounded reader, and every non-final segment must consume its
+// bytes exactly (leftovers are what the sequential reader would reject
+// at the next marker; data after the final MCU is ignored on both
+// paths). Reconstruction is deferred to finishFrame like every other
+// scan shape; reconWorkers records the fan-out it should reuse.
+func (d *decoder) scanSharded(scomps []*component, workers int) (byte, error) {
+	f := &d.frame
+	for _, c := range scomps {
 		if d.huff[0<<2|c.td] == nil || d.huff[1<<2|c.ta] == nil {
-			return fmt.Errorf("jpegcodec: missing huffman tables %d/%d", c.td, c.ta)
+			return 0, fmt.Errorf("jpegcodec: missing huffman tables %d/%d", c.td, c.ta)
 		}
 	}
-	total := mcusX * mcusY
+	total := f.mcusX * f.mcusY
 	ri := d.ri
 	expected := (total + ri - 1) / ri
-	segs, err := d.entropySegments(expected)
+	segs, next, err := d.entropySegments(expected)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	brs := make([]*bitio.Reader, pipeline.Workers(workers, len(segs)))
 	for i := range brs {
@@ -272,8 +296,8 @@ func (d *decoder) scanSharded(mcusX, mcusY, workers int) error {
 		var prevDC [4]int32
 		lo, hi := segmentBounds(seg, ri, total)
 		for mcu := lo; mcu < hi; mcu++ {
-			my, mx := mcu/mcusX, mcu%mcusX
-			for ci, c := range d.comps {
+			my, mx := mcu/f.mcusX, mcu%f.mcusX
+			for ci, c := range scomps {
 				dcTab := d.huff[0<<2|c.td]
 				acTab := d.huff[1<<2|c.ta]
 				for vy := 0; vy < c.v; vy++ {
@@ -294,10 +318,10 @@ func (d *decoder) scanSharded(mcusX, mcusY, workers int) error {
 		return nil
 	})
 	if err != nil {
-		return firstShardError(err)
+		return 0, firstShardError(err)
 	}
-	d.reconstructSharded(workers)
-	return nil
+	d.reconWorkers = workers
+	return next, nil
 }
 
 // reconstructSharded runs the batched inverse stage with block-row
@@ -306,9 +330,10 @@ func (d *decoder) scanSharded(mcusX, mcusY, workers int) error {
 // Each worker checks a flat scratch plane out of planePool (the
 // sequential path reuses the decoder's retained plane instead).
 func (d *decoder) reconstructSharded(workers int) {
+	comps := d.frame.comps
 	rows := 0
 	var rowStart [3]int
-	for i, c := range d.comps {
+	for i, c := range comps {
 		rowStart[i] = rows
 		rows += c.blocksY
 	}
@@ -323,11 +348,11 @@ func (d *decoder) reconstructSharded(workers int) {
 	}()
 	// The callback cannot fail and the context is never canceled.
 	_ = pipeline.RunWorker(context.Background(), rows, workers, func(_ context.Context, w, i int) error {
-		ci := len(d.comps) - 1
+		ci := len(comps) - 1
 		for ci > 0 && i < rowStart[ci] {
 			ci--
 		}
-		c := d.comps[ci]
+		c := comps[ci]
 		p := growFloats(*planes[w], c.blocksX*64)
 		*planes[w] = p
 		reconstructBlockRow(c, i-rowStart[ci], p, d.xf)

@@ -535,8 +535,9 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 }
 
 // writeAPIError classifies err into the JSON envelope: apiErrors keep
-// their status, body-limit errors become 413, everything else 400 (the
-// codec only fails on bad input).
+// their status, body-limit errors become 413, recognized-but-unsupported
+// JPEG coding processes (arithmetic, lossless, hierarchical) become 415,
+// everything else 400 (the codec only fails on bad input).
 func writeAPIError(w http.ResponseWriter, err error) {
 	var ae *apiError
 	if errors.As(err, &ae) {
@@ -546,6 +547,11 @@ func writeAPIError(w http.ResponseWriter, err error) {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
 		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", err.Error())
+		return
+	}
+	var ufe *jpegcodec.UnsupportedFormatError
+	if errors.As(err, &ufe) {
+		writeError(w, http.StatusUnsupportedMediaType, "unsupported_format", err.Error())
 		return
 	}
 	writeError(w, http.StatusBadRequest, "bad_input", err.Error())

@@ -694,6 +694,45 @@ func TestErrorPaths(t *testing.T) {
 	})
 }
 
+// TestUnsupportedFormatMatrix pins the 415 unsupported_format contract:
+// syntactically well-formed JPEG streams whose coding process the decoder
+// does not implement (arithmetic, lossless, hierarchical) must come back
+// as 415 with the marker named, on both the decode and requantize routes —
+// distinct from the 400 bad_input used for corrupt streams.
+func TestUnsupportedFormatMatrix(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	sofStream := func(marker byte) []byte {
+		return []byte{
+			0xFF, 0xD8, // SOI
+			0xFF, marker, 0x00, 0x0B, 8, 0, 16, 0, 16, 1, 1, 0x11, 0, // SOFn 16x16 gray
+			0xFF, 0xDA, 0x00, 0x08, 1, 1, 0x00, 0, 63, 0, // SOS
+			0x12, 0x34, // entropy bytes
+			0xFF, 0xD9, // EOI
+		}
+	}
+	cases := []struct {
+		name   string
+		marker byte
+		want   string // marker name the message must carry
+	}{
+		{"arithmetic-sequential", 0xC9, "SOF9"},
+		{"arithmetic-progressive", 0xCA, "SOF10"},
+		{"lossless", 0xC3, "SOF3"},
+		{"hierarchical-differential", 0xC5, "SOF5"},
+	}
+	for _, route := range []string{"/v1/decode", "/v1/requantize"} {
+		for _, tc := range cases {
+			t.Run(strings.TrimPrefix(route, "/v1/")+"-"+tc.name, func(t *testing.T) {
+				resp, body := post(t, ts.URL+route, "", sofStream(tc.marker), nil)
+				wantJSONError(t, resp, body, http.StatusUnsupportedMediaType, "unsupported_format")
+				if !strings.Contains(string(body), tc.want) {
+					t.Fatalf("message should name %s: %s", tc.want, body)
+				}
+			})
+		}
+	}
+}
+
 // TestDecodeDefaultsToServerTransform pins the -fast-dct contract: a
 // server configured with the AAN engine must decode with it by default,
 // not just when every client passes ?transform=aan.
